@@ -1,0 +1,43 @@
+"""Benchmark E8 — the bandwidth-sharing master-worker scenario (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandwidth.network import BandwidthScenario
+from repro.bandwidth.transfer import plan_transfers, scenario_to_instance
+from repro.experiments import run_experiment
+from repro.simulation.nonclairvoyant import run_wdeq_online
+
+
+@pytest.fixture(scope="module")
+def scenario_20_workers():
+    return BandwidthScenario.random(20, rng=0)
+
+
+def test_plan_transfers_20_workers(benchmark, scenario_20_workers):
+    plans = benchmark.pedantic(
+        plan_transfers, args=(scenario_20_workers,), iterations=1, rounds=3
+    )
+    by_name = {p.strategy: p for p in plans}
+    assert by_name["WDEQ"].throughput(scenario_20_workers) >= (
+        by_name["sequential"].throughput(scenario_20_workers) - 1e-6
+    )
+
+
+def test_wdeq_transfer_simulation_20_workers(benchmark, scenario_20_workers):
+    instance = scenario_to_instance(scenario_20_workers)
+    result = benchmark(run_wdeq_online, instance)
+    assert result.completion_times.size == 20
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e8_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E8",),
+        kwargs={"worker_counts": (5,), "count": 2},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["WDEQ >= best naive strategy on average"] is True

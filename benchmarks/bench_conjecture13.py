@@ -1,0 +1,41 @@
+"""Benchmark E2 — greedy recurrence and reversal symmetry (Conjecture 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy_homogeneous import homogeneous_greedy_value
+from repro.analysis.conjectures import check_conjecture13
+from repro.experiments import run_experiment
+
+
+def test_homogeneous_greedy_value_n12(benchmark, homogeneous_deltas_n12):
+    value = benchmark(homogeneous_greedy_value, homogeneous_deltas_n12)
+    assert value >= 12.0
+
+
+def test_reversal_symmetry_check_n12(benchmark, homogeneous_deltas_n12):
+    check = benchmark.pedantic(
+        check_conjecture13,
+        kwargs={
+            "deltas": homogeneous_deltas_n12,
+            "max_orders": 200,
+            "rng": np.random.default_rng(0),
+        },
+        iterations=1,
+        rounds=3,
+    )
+    assert check.holds
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e2_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E2",),
+        kwargs={"sizes": (3, 10), "count": 5, "max_orders": 50},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["symmetry holds on every instance"] is True

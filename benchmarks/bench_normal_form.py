@@ -1,0 +1,45 @@
+"""Benchmark E9 — normal-form round trips (Theorems 3 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.core.conversion import column_to_processor_assignment, continuous_to_column
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def wdeq_n50(cluster_instance_n50):
+    return wdeq_schedule(cluster_instance_n50)
+
+
+def test_water_filling_normalisation_n50(benchmark, cluster_instance_n50, wdeq_n50):
+    targets = wdeq_n50.completion_times_by_task()
+    sched = benchmark(water_filling_schedule, cluster_instance_n50, targets)
+    np.testing.assert_allclose(sched.completion_times_by_task(), targets, rtol=1e-7)
+
+
+def test_theorem3_stacking_n50(benchmark, wdeq_n50):
+    assignment = benchmark(column_to_processor_assignment, wdeq_n50)
+    assert assignment.num_processors == 64
+
+
+def test_theorem3_column_averaging_n50(benchmark, wdeq_n50):
+    continuous = wdeq_n50.to_continuous()
+    column = benchmark(continuous_to_column, continuous)
+    assert column.n == 50
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e9_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E9",),
+        kwargs={"small_sizes": (3,), "large_sizes": (10,), "count": 2},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["all normalised schedules valid"] is True

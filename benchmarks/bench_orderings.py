@@ -1,0 +1,37 @@
+"""Benchmark E3 — exhaustive optimal-order structure on Section V-B instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.orderings import optimal_order_structure
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def deltas_n5():
+    return np.random.default_rng(10).uniform(0.5, 1.0, 5)
+
+
+def test_optimal_order_structure_n5(benchmark, deltas_n5):
+    structure = benchmark(optimal_order_structure, deltas_n5)
+    assert structure.optimal_orders
+
+
+def test_optimal_order_structure_n4(benchmark):
+    deltas = np.random.default_rng(11).uniform(0.5, 1.0, 4)
+    structure = benchmark(optimal_order_structure, deltas)
+    assert structure.measured_pattern_optimal
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e3_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E3",),
+        kwargs={"sizes": (2, 3, 4), "count": 3, "five_task_count": 2},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["5-task necessary condition always satisfied"] is True

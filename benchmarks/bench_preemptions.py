@@ -1,0 +1,51 @@
+"""Benchmark E6 — Water-Filling normalisation, integer conversion, preemptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.preemption import assign_processors, integer_allocation_profile
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.analysis.preemptions import preemption_report
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def wf_schedule_n50(cluster_instance_n50):
+    completions = wdeq_schedule(cluster_instance_n50).completion_times_by_task()
+    return water_filling_schedule(cluster_instance_n50, completions)
+
+
+def test_fractional_change_count_n50(benchmark, wf_schedule_n50):
+    changes = benchmark(wf_schedule_n50.allocation_change_count)
+    assert changes <= 50  # Theorem 9
+
+
+def test_integer_profile_n50(benchmark, wf_schedule_n50):
+    profile = benchmark(integer_allocation_profile, wf_schedule_n50)
+    assert profile.num_processors == 64
+
+
+def test_sticky_assignment_n50(benchmark, wf_schedule_n50):
+    assignment = benchmark(assign_processors, wf_schedule_n50)
+    assert assignment.num_processors == 64
+
+
+def test_preemption_report_n50(benchmark, cluster_instance_n50):
+    completions = wdeq_schedule(cluster_instance_n50).completion_times_by_task()
+    report = benchmark(preemption_report, cluster_instance_n50, completions)
+    assert report.within_bounds
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e6_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E6",),
+        kwargs={"sizes": (5, 20), "count": 2},
+        iterations=1,
+        rounds=1,
+    )
+    key = "fractional change bound (Theorem 9) respected on every instance"
+    assert result.summary[key] is True

@@ -1,0 +1,90 @@
+"""Benchmark E7 — runtime scaling of the solvers (Table I discussion).
+
+This is the pytest-benchmark counterpart of ``repro.experiments.exp_scaling``:
+it times the polynomial solvers (WDEQ, Water-Filling, greedy, makespan,
+max-lateness) and the fixed-ordering LP with both backends so their scaling
+can be compared across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.greedy import greedy_completion_times
+from repro.algorithms.lateness import minimize_max_lateness
+from repro.algorithms.makespan import minimal_makespan
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.lp.interface import solve_ordered_relaxation
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="polynomial-solvers")
+def test_wdeq_n200(benchmark, cluster_instance_n200):
+    benchmark(wdeq_schedule, cluster_instance_n200)
+
+
+@pytest.mark.benchmark(group="polynomial-solvers")
+def test_water_filling_n200(benchmark, cluster_instance_n200):
+    completions = wdeq_schedule(cluster_instance_n200).completion_times_by_task()
+    benchmark(water_filling_schedule, cluster_instance_n200, completions)
+
+
+@pytest.mark.benchmark(group="polynomial-solvers")
+def test_greedy_n200(benchmark, cluster_instance_n200):
+    order = cluster_instance_n200.smith_order()
+    benchmark(greedy_completion_times, cluster_instance_n200, order)
+
+
+@pytest.mark.benchmark(group="polynomial-solvers")
+def test_makespan_n200(benchmark, cluster_instance_n200):
+    benchmark(minimal_makespan, cluster_instance_n200)
+
+
+@pytest.mark.benchmark(group="polynomial-solvers")
+def test_max_lateness_n50(benchmark, cluster_instance_n50):
+    deadlines = wdeq_schedule(cluster_instance_n50).completion_times_by_task()
+    benchmark.pedantic(
+        minimize_max_lateness,
+        args=(cluster_instance_n50, deadlines),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def _prefix_instance(instance, n):
+    """First ``n`` tasks of a larger instance, same platform."""
+    from repro.core.instance import Instance
+
+    return Instance(P=instance.P, tasks=instance.tasks[:n])
+
+
+@pytest.mark.benchmark(group="lp-backends")
+def test_ordered_lp_highs_n20(benchmark, cluster_instance_n200):
+    inst = _prefix_instance(cluster_instance_n200, 20)
+    order = inst.smith_order()
+    benchmark(solve_ordered_relaxation, inst, order, "scipy", False)
+
+
+@pytest.mark.benchmark(group="lp-backends")
+def test_ordered_lp_simplex_n10(benchmark, cluster_instance_n200):
+    inst = _prefix_instance(cluster_instance_n200, 10)
+    order = inst.smith_order()
+    benchmark.pedantic(
+        solve_ordered_relaxation,
+        args=(inst, order, "simplex", False),
+        iterations=1,
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e7_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E7",),
+        kwargs={"sizes": (10, 50), "lp_sizes": (5,), "simplex_sizes": (5,)},
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["table I coverage rows"] == 9

@@ -1,0 +1,53 @@
+"""Benchmark E5 — WDEQ execution and its empirical approximation ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.analysis.ratios import wdeq_ratio
+from repro.core.bounds import combined_lower_bound
+from repro.experiments import run_experiment
+from repro.simulation.nonclairvoyant import run_wdeq_online
+
+
+def test_wdeq_schedule_n50(benchmark, cluster_instance_n50):
+    sched = benchmark(wdeq_schedule, cluster_instance_n50)
+    assert sched.makespan() > 0
+
+
+def test_wdeq_online_simulation_n50(benchmark, cluster_instance_n50):
+    result = benchmark(run_wdeq_online, cluster_instance_n50)
+    assert result.completion_times.size == 50
+
+
+def test_wdeq_ratio_against_lower_bound_n50(benchmark, cluster_instance_n50):
+    ratio = benchmark(wdeq_ratio, cluster_instance_n50, exact=False)
+    assert ratio <= 2.0 + 1e-6
+
+
+def test_combined_lower_bound_n50(benchmark, cluster_instance_n50):
+    bound = benchmark(combined_lower_bound, cluster_instance_n50)
+    assert bound > 0
+
+
+def test_wdeq_ratio_exact_small(benchmark, uniform_instance_n4):
+    ratio = benchmark(wdeq_ratio, uniform_instance_n4, exact=True)
+    assert 1.0 - 1e-9 <= ratio <= 2.0 + 1e-6
+
+
+@pytest.mark.benchmark(group="experiment-runs")
+def test_experiment_e5_quick(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E5",),
+        kwargs={
+            "small_sizes": (2, 3),
+            "small_count": 3,
+            "large_sizes": (10,),
+            "large_count": 2,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    assert result.summary["always below 2"] is True

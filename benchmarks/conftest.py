@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark corresponds to an experiment of DESIGN.md (E1-E9); the
+fixtures provide the reference workloads at sizes small enough for a
+benchmark run to finish in seconds while still exercising the real code
+paths.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    cluster_instances,
+    homogeneous_halfdelta_deltas,
+    large_delta_instances,
+    uniform_instances,
+)
+
+
+@pytest.fixture(scope="session")
+def uniform_instance_n5():
+    """One 5-task instance from the Conjecture 12 family."""
+    return next(uniform_instances(5, 1, rng=np.random.default_rng(0)))
+
+
+@pytest.fixture(scope="session")
+def uniform_instance_n4():
+    """One 4-task instance from the Conjecture 12 family."""
+    return next(uniform_instances(4, 1, rng=np.random.default_rng(1)))
+
+
+@pytest.fixture(scope="session")
+def large_delta_instance_n5():
+    """One Theorem 11 instance (delta > P/2, unit weights)."""
+    return next(large_delta_instances(5, 1, rng=np.random.default_rng(2)))
+
+
+@pytest.fixture(scope="session")
+def cluster_instance_n50():
+    """A 50-task synthetic cluster instance (P = 64)."""
+    return next(cluster_instances(50, 1, rng=np.random.default_rng(3)))
+
+
+@pytest.fixture(scope="session")
+def cluster_instance_n200():
+    """A 200-task synthetic cluster instance (P = 64)."""
+    return next(cluster_instances(200, 1, rng=np.random.default_rng(4)))
+
+
+@pytest.fixture(scope="session")
+def homogeneous_deltas_n12():
+    """Caps of a 12-task Section V-B instance."""
+    return next(homogeneous_halfdelta_deltas(12, 1, rng=np.random.default_rng(5)))

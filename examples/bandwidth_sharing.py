@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bandwidth sharing on a master-worker platform (Figure 1 of the paper).
+
+A server with a bounded outgoing link distributes application codes to
+workers; each worker starts crunching jobs at its own rate as soon as its
+code has fully arrived, and we want as many jobs as possible done by a
+deadline.  The paper observes that this is exactly the malleable-task
+weighted-completion-time problem: the server link is the platform ``P``,
+each worker's access link is the cap ``delta_i``, its code size the volume
+``V_i`` and its processing rate the weight ``w_i``.
+
+The example compares four transfer strategies on a random scenario:
+sequential FTP-style transfers, unweighted fair sharing (DEQ), the paper's
+WDEQ, and a clairvoyant greedy schedule.
+
+Run with:  python examples/bandwidth_sharing.py
+"""
+
+from __future__ import annotations
+
+from repro.bandwidth import BandwidthScenario, Worker, plan_transfers
+from repro.viz.tables import format_table
+
+
+def main() -> None:
+    # A 1 Gbit/s server feeding a small heterogeneous cluster.
+    scenario = BandwidthScenario(
+        server_bandwidth=1000.0,  # Mbit/s
+        workers=[
+            Worker("edge-1", code_size=800.0, incoming_bandwidth=100.0, processing_rate=2.0),
+            Worker("edge-2", code_size=500.0, incoming_bandwidth=100.0, processing_rate=1.0),
+            Worker("rack-1", code_size=1500.0, incoming_bandwidth=500.0, processing_rate=6.0),
+            Worker("rack-2", code_size=1200.0, incoming_bandwidth=500.0, processing_rate=4.0),
+            Worker("hpc-1", code_size=2000.0, incoming_bandwidth=1000.0, processing_rate=10.0),
+        ],
+    ).with_default_horizon(slack=2.0)
+
+    print(
+        f"Server bandwidth {scenario.server_bandwidth:g} Mbit/s, "
+        f"{scenario.num_workers} workers, horizon T = {scenario.horizon:.1f} s"
+    )
+    print()
+
+    plans = plan_transfers(scenario)
+    rows = []
+    for plan in sorted(plans, key=lambda p: -p.throughput(scenario)):
+        rows.append(
+            [
+                plan.strategy,
+                f"{plan.weighted_completion_time(scenario):,.0f}",
+                f"{plan.throughput(scenario):,.0f}",
+                f"{plan.throughput(scenario, clamp=False):,.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "sum w_i C_i (minimise)", "jobs done by T", "unclamped w_i (T - C_i)"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Minimising the weighted sum of code-arrival times and maximising the\n"
+        "(unclamped) throughput rank the strategies identically - the equivalence\n"
+        "the paper uses to motivate the malleable-task model."
+    )
+
+
+if __name__ == "__main__":
+    main()

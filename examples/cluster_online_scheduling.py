@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Online scheduling of a malleable batch on a multicore cluster.
+
+This example simulates a 64-core node receiving a batch of moldable/malleable
+jobs (log-normal work, priority-class weights, power-of-two width caps) and
+compares non-clairvoyant policies run through the event-driven engine:
+
+* WDEQ — the paper's weighted dynamic equipartition (2-approximation),
+* DEQ — unweighted equipartition,
+* weighted fair share ignoring the width caps,
+* a strict Smith-priority policy.
+
+The objective ratios are reported against the Lemma 1 lower bound, so the
+numbers are directly comparable with Theorem 4's guarantee of 2.
+
+Run with:  python examples/cluster_online_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import combined_lower_bound
+from repro.simulation import compare_policies
+from repro.viz.tables import format_table
+from repro.workloads.generators import cluster_instances
+
+
+def main() -> None:
+    rng = np.random.default_rng(2012)
+    instance = next(cluster_instances(n=40, count=1, P=64.0, rng=rng))
+    print(
+        f"Cluster node with P = {instance.P:g} cores, {instance.n} malleable jobs, "
+        f"total work {instance.total_volume:.1f} core-hours"
+    )
+    print()
+
+    bound = combined_lower_bound(instance)
+    results = compare_policies(instance)
+
+    rows = []
+    for name, result in sorted(
+        results.items(), key=lambda kv: kv[1].weighted_completion_time()
+    ):
+        value = result.weighted_completion_time()
+        rows.append(
+            [
+                name,
+                f"{value:.1f}",
+                f"{value / bound:.3f}",
+                f"{result.makespan():.2f}",
+                result.trace.num_reshares,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "policy",
+                "sum w_i C_i",
+                "ratio to lower bound",
+                "makespan",
+                "reshare events",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"Lemma 1 lower bound: {bound:.1f}.  Theorem 4 guarantees WDEQ stays within a\n"
+        "factor 2 of the optimum; in practice it is much closer, and it clearly beats\n"
+        "both the unweighted and the cap-oblivious baselines on weighted workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

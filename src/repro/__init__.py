@@ -1,0 +1,75 @@
+"""Reproduction of Beaumont, Bonichon, Eyraud-Dubois & Marchal (IPDPS 2012).
+
+*Minimizing Weighted Mean Completion Time for Malleable Tasks Scheduling.*
+
+The package implements the paper's model of work-preserving malleable tasks
+(tasks whose total work ``V_i`` is independent of the number of processors
+used, subject to a per-task cap ``delta_i`` on simultaneous processors), the
+algorithms it introduces (the non-clairvoyant 2-approximation **WDEQ**, the
+**Water-Filling** normal-form algorithm, **greedy** schedules) and the
+experiment harness that regenerates the paper's quantitative evaluation.
+
+Public API highlights
+---------------------
+``repro.core``
+    Instance model, schedule representations, objectives, lower bounds,
+    fractional/integer conversions and validity checks.
+``repro.algorithms``
+    WDEQ, DEQ, Water-Filling, greedy scheduling, the brute-force optimal
+    solver and ordering heuristics.
+``repro.lp``
+    The fixed-ordering linear program of Corollary 1 with a SciPy backend and
+    a self-contained simplex fallback.
+``repro.simulation``
+    Event-driven non-clairvoyant execution of online policies.
+``repro.workloads``
+    Random instance generators matching the paper's experiments.
+``repro.experiments``
+    One module per table / figure / experiment of the paper.
+
+Quickstart
+----------
+>>> from repro import Instance, Task
+>>> from repro.algorithms import wdeq_schedule
+>>> inst = Instance(P=4, tasks=[Task(volume=4, weight=2, delta=2),
+...                             Task(volume=6, weight=1, delta=3)])
+>>> sched = wdeq_schedule(inst)
+>>> sched.weighted_completion_time() > 0
+True
+"""
+
+from repro.core.instance import Instance, Task
+from repro.core.schedule import (
+    ColumnSchedule,
+    ContinuousSchedule,
+    ProcessorAssignment,
+)
+from repro.core.bounds import (
+    height_bound,
+    mixed_lower_bound,
+    squashed_area_bound,
+    combined_lower_bound,
+)
+from repro.core.objectives import (
+    makespan,
+    max_lateness,
+    weighted_completion_time,
+)
+
+__all__ = [
+    "Instance",
+    "Task",
+    "ColumnSchedule",
+    "ContinuousSchedule",
+    "ProcessorAssignment",
+    "squashed_area_bound",
+    "height_bound",
+    "mixed_lower_bound",
+    "combined_lower_bound",
+    "weighted_completion_time",
+    "makespan",
+    "max_lateness",
+    "__version__",
+]
+
+__version__ = "1.0.0"

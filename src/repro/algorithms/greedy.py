@@ -1,0 +1,267 @@
+"""Greedy schedules (Section V, Algorithm 3) and the best-greedy search.
+
+A *greedy* schedule for an ordering ``sigma`` processes the tasks one by one:
+the next task is given as much resource as possible, as early as possible
+(rate ``min(delta_i, remaining capacity)`` at every instant), and the
+capacity it uses is removed from the profile before the following task is
+placed.  The paper proves (Theorem 11) that for homogeneous weights and
+``delta_i > P/2`` *every* optimal schedule is greedy, and conjectures
+(Conjecture 12) that some greedy schedule is always optimal.
+
+The best-greedy search — enumerate orderings, keep the best greedy value —
+is the workhorse of experiments E1 and E4.  For larger ``n`` an exhaustive
+search is impossible, so a Smith-ordering seed followed by pairwise-swap
+local search is provided as well.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import ContinuousSchedule
+from repro.algorithms.profile import CapacityProfile
+
+__all__ = [
+    "greedy_schedule",
+    "greedy_completion_times",
+    "best_greedy_schedule",
+    "BestGreedyResult",
+    "local_search_greedy_schedule",
+    "exhaustive_greedy_values",
+]
+
+
+def _check_order(instance: Instance, order: Sequence[int]) -> list[int]:
+    order = [int(i) for i in order]
+    if sorted(order) != list(range(instance.n)):
+        raise InvalidScheduleError(
+            f"order must be a permutation of 0..{instance.n - 1}, got {order!r}"
+        )
+    return order
+
+
+def greedy_completion_times(instance: Instance, order: Sequence[int]) -> np.ndarray:
+    """Completion times (indexed by task) of the greedy schedule for ``order``.
+
+    This is the fast path used by the exhaustive best-greedy search: it runs
+    the capacity-profile simulation but does not materialise the full
+    allocation matrices.
+    """
+    order = _check_order(instance, order)
+    completions = np.zeros(instance.n)
+    if instance.n == 0:
+        return completions
+    profile = CapacityProfile(instance.P)
+    for task in order:
+        result = profile.allocate_greedily(
+            volume=float(instance.volumes[task]),
+            delta=float(instance.deltas[task]),
+        )
+        completions[task] = result.completion_time
+    return completions
+
+
+def greedy_schedule(instance: Instance, order: Sequence[int]) -> ContinuousSchedule:
+    """Full greedy schedule (Algorithm 3) for a given task ordering.
+
+    Returns the exact piecewise-constant continuous schedule.  Convert with
+    :meth:`~repro.core.schedule.ContinuousSchedule.to_column` to obtain the
+    column-based normal form (the completion times are preserved, per
+    Theorem 3).
+    """
+    order = _check_order(instance, order)
+    n = instance.n
+    if n == 0:
+        return ContinuousSchedule(instance, [0.0, 1.0], np.zeros((0, 1)))
+    profile = CapacityProfile(instance.P)
+    allocations: dict[int, tuple[tuple[float, float, float], ...]] = {}
+    for task in order:
+        result = profile.allocate_greedily(
+            volume=float(instance.volumes[task]),
+            delta=float(instance.deltas[task]),
+        )
+        allocations[task] = result.pieces
+    # Collect breakpoints from every allocation piece.
+    points = {0.0}
+    for pieces in allocations.values():
+        for start, end, _ in pieces:
+            points.add(float(start))
+            points.add(float(end))
+    breakpoints = sorted(points)
+    dedup = [breakpoints[0]]
+    for t in breakpoints[1:]:
+        if t - dedup[-1] > 1e-12:
+            dedup.append(t)
+    if len(dedup) == 1:
+        dedup.append(dedup[0] + 1.0)
+    m = len(dedup) - 1
+    rates = np.zeros((n, m))
+    mids = [(dedup[k] + dedup[k + 1]) / 2 for k in range(m)]
+    for task, pieces in allocations.items():
+        for start, end, rate in pieces:
+            for k, mid in enumerate(mids):
+                if start - 1e-12 <= mid <= end + 1e-12 and dedup[k] >= start - 1e-9 and dedup[k + 1] <= end + 1e-9:
+                    rates[task, k] += rate
+    return ContinuousSchedule(instance, dedup, rates)
+
+
+@dataclass
+class BestGreedyResult:
+    """Outcome of a best-greedy search.
+
+    Attributes
+    ----------
+    order:
+        The best ordering found.
+    objective:
+        Its weighted completion time.
+    completion_times:
+        Completion times (by task) of the best greedy schedule.
+    evaluated:
+        Number of orderings whose greedy value was computed.
+    exhaustive:
+        True when every permutation was evaluated (so the result is the exact
+        best greedy value).
+    """
+
+    order: tuple[int, ...]
+    objective: float
+    completion_times: np.ndarray
+    evaluated: int
+    exhaustive: bool
+
+    def schedule(self, instance: Instance) -> ContinuousSchedule:
+        """Materialise the greedy schedule for the best ordering."""
+        return greedy_schedule(instance, self.order)
+
+
+def exhaustive_greedy_values(
+    instance: Instance, orders: Iterable[Sequence[int]] | None = None
+) -> dict[tuple[int, ...], float]:
+    """Greedy objective value for every ordering in ``orders`` (default: all).
+
+    Mainly used by the structural experiments of Section V-B, which need the
+    *whole* value landscape (e.g. to verify the reversal symmetry of
+    Conjecture 13), not just the best order.
+    """
+    if orders is None:
+        orders = itertools.permutations(range(instance.n))
+    values: dict[tuple[int, ...], float] = {}
+    for order in orders:
+        completions = greedy_completion_times(instance, order)
+        values[tuple(int(i) for i in order)] = float(
+            np.dot(instance.weights, completions)
+        )
+    return values
+
+
+def best_greedy_schedule(
+    instance: Instance,
+    exhaustive_limit: int = 8,
+    local_search_restarts: int = 3,
+    rng: np.random.Generator | None = None,
+) -> BestGreedyResult:
+    """Search for the best greedy ordering.
+
+    For ``n <= exhaustive_limit`` every permutation is evaluated (the setting
+    of the paper's Conjecture 12 experiments, which use ``n <= 5``).  For
+    larger instances the search falls back to
+    :func:`local_search_greedy_schedule`.
+    """
+    n = instance.n
+    if n == 0:
+        return BestGreedyResult(
+            order=(), objective=0.0, completion_times=np.zeros(0), evaluated=0, exhaustive=True
+        )
+    if n <= exhaustive_limit:
+        best_order: tuple[int, ...] | None = None
+        best_value = math.inf
+        best_completions = np.zeros(n)
+        evaluated = 0
+        for order in itertools.permutations(range(n)):
+            completions = greedy_completion_times(instance, order)
+            value = float(np.dot(instance.weights, completions))
+            evaluated += 1
+            if value < best_value - 1e-15:
+                best_value = value
+                best_order = order
+                best_completions = completions
+        assert best_order is not None
+        return BestGreedyResult(
+            order=best_order,
+            objective=best_value,
+            completion_times=best_completions,
+            evaluated=evaluated,
+            exhaustive=True,
+        )
+    return local_search_greedy_schedule(
+        instance, restarts=local_search_restarts, rng=rng
+    )
+
+
+def local_search_greedy_schedule(
+    instance: Instance,
+    restarts: int = 3,
+    rng: np.random.Generator | None = None,
+    max_passes: int = 50,
+) -> BestGreedyResult:
+    """Best greedy ordering by Smith seed + adjacent/pairwise swap local search.
+
+    The first start uses Smith's ordering (non-decreasing ``V_i / w_i``),
+    which the paper's conclusion singles out as the natural candidate; the
+    remaining starts are random permutations.  Each start is improved by
+    first-improvement pairwise swaps until a local optimum is reached.
+    """
+    n = instance.n
+    rng = rng or np.random.default_rng(0)
+    evaluated = 0
+
+    def value_of(order: Sequence[int]) -> tuple[float, np.ndarray]:
+        nonlocal evaluated
+        completions = greedy_completion_times(instance, order)
+        evaluated += 1
+        return float(np.dot(instance.weights, completions)), completions
+
+    seeds: list[list[int]] = [instance.smith_order()]
+    for _ in range(max(restarts - 1, 0)):
+        seeds.append(list(rng.permutation(n)))
+
+    best_order: list[int] | None = None
+    best_value = math.inf
+    best_completions = np.zeros(n)
+    for seed in seeds:
+        order = list(seed)
+        value, completions = value_of(order)
+        improved = True
+        passes = 0
+        while improved and passes < max_passes:
+            improved = False
+            passes += 1
+            for a in range(n - 1):
+                for b in range(a + 1, n):
+                    order[a], order[b] = order[b], order[a]
+                    new_value, new_completions = value_of(order)
+                    if new_value < value - 1e-12:
+                        value, completions = new_value, new_completions
+                        improved = True
+                    else:
+                        order[a], order[b] = order[b], order[a]
+        if value < best_value:
+            best_value = value
+            best_order = list(order)
+            best_completions = completions
+    assert best_order is not None
+    return BestGreedyResult(
+        order=tuple(best_order),
+        objective=best_value,
+        completion_times=best_completions,
+        evaluated=evaluated,
+        exhaustive=False,
+    )

@@ -1,0 +1,118 @@
+"""Maximum-lateness minimisation via the Water-Filling feasibility test.
+
+The paper notes (Section I) that the Water-Filling algorithm of Section IV
+solves ``P | var; V_i/q, delta_i | L_max`` (all release dates zero) in
+``O(n log n)`` time: a lateness target ``L`` is feasible iff the completion
+times ``d_i + L`` (deadline plus allowed lateness) admit a valid schedule,
+which is exactly what Algorithm WF decides (Theorem 8).
+
+The optimal lateness is found here by a bisection on ``L`` between an easy
+lower bound (every task meets its deadline shifted by the makespan lower
+bound) and an easy upper bound (run everything sequentially).  The bisection
+converges geometrically; 100 iterations give ~30 significant digits of
+relative precision, far beyond the validators' tolerance.  A direct
+parametric (non-iterative) method would match the paper's stated complexity,
+but the bisection keeps the implementation transparent and is more than fast
+enough for the experiment sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InfeasibleScheduleError, InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import ColumnSchedule
+from repro.algorithms.makespan import minimal_makespan
+from repro.algorithms.water_filling import water_filling_schedule
+
+__all__ = ["LatenessResult", "minimize_max_lateness", "deadlines_feasible"]
+
+
+def deadlines_feasible(instance: Instance, deadlines: Sequence[float]) -> bool:
+    """Can every task complete by its deadline?  (Water-Filling feasibility.)"""
+    try:
+        water_filling_schedule(instance, deadlines)
+    except InfeasibleScheduleError:
+        return False
+    return True
+
+
+@dataclass
+class LatenessResult:
+    """Outcome of the maximum-lateness minimisation.
+
+    Attributes
+    ----------
+    lateness:
+        The minimal achievable maximum lateness ``L_max``.
+    schedule:
+        A schedule achieving (up to bisection tolerance) that lateness.
+    """
+
+    lateness: float
+    schedule: ColumnSchedule
+
+
+def minimize_max_lateness(
+    instance: Instance,
+    deadlines: Sequence[float],
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> LatenessResult:
+    """Minimise ``max_i (C_i - d_i)`` for malleable work-preserving tasks.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    deadlines:
+        Deadline ``d_i`` for every task (may be negative; only differences
+        matter).
+    tolerance:
+        Absolute tolerance on the returned lateness.
+    """
+    d = np.asarray(deadlines, dtype=float)
+    if d.shape != (instance.n,):
+        raise InvalidScheduleError(
+            f"expected {instance.n} deadlines, got shape {d.shape}"
+        )
+    if instance.n == 0:
+        return LatenessResult(
+            lateness=0.0,
+            schedule=ColumnSchedule(instance, [], [], np.zeros((0, 0))),
+        )
+
+    # Lower bound: every task needs at least its height, and the whole
+    # platform needs at least the makespan lower bound, so the task with the
+    # tightest deadline relative to those gives a lateness lower bound.
+    heights = instance.heights
+    lateness_lo = float(np.max(heights - d))
+    lateness_lo = max(lateness_lo, minimal_makespan(instance) - float(np.max(d)))
+    # Upper bound: schedule every task back-to-back at its cap after all
+    # deadlines; certainly feasible.
+    sequential_finish = float(np.sum(heights))
+    lateness_hi = sequential_finish - float(np.min(d))
+
+    if deadlines_feasible(instance, d + lateness_lo):
+        schedule = water_filling_schedule(instance, d + lateness_lo)
+        return LatenessResult(lateness=lateness_lo, schedule=schedule)
+    if not deadlines_feasible(instance, d + lateness_hi):  # pragma: no cover - defensive
+        raise InfeasibleScheduleError(
+            "internal error: the sequential upper bound should always be feasible"
+        )
+
+    lo, hi = lateness_lo, lateness_hi
+    for _ in range(max_iterations):
+        if hi - lo <= tolerance:
+            break
+        mid = 0.5 * (lo + hi)
+        if deadlines_feasible(instance, d + mid):
+            hi = mid
+        else:
+            lo = mid
+    schedule = water_filling_schedule(instance, d + hi)
+    return LatenessResult(lateness=hi, schedule=schedule)

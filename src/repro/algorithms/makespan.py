@@ -1,0 +1,49 @@
+"""Optimal makespan for work-preserving malleable tasks.
+
+Table I of the paper recalls that the makespan problem
+``P | var; V_i/q, delta_i | C_max`` is polynomial (Drozdowski, reference
+[10], via the Muntz–Coffman algorithm).  Without release dates the optimum
+has the simple closed form
+
+``C_max* = max( sum_i V_i / P ,  max_i V_i / delta_i )``
+
+— the total work divided by the platform, or the longest task at its cap,
+whichever is larger.  Feasibility at that horizon follows because each task
+can simply run at the constant rate ``V_i / C_max*``, which respects
+``delta_i`` (by the second term) and sums to at most ``P`` (by the first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import ColumnSchedule
+
+__all__ = ["minimal_makespan", "makespan_schedule"]
+
+
+def minimal_makespan(instance: Instance) -> float:
+    """The optimal makespan ``max(sum V_i / P, max_i V_i / delta_i)``."""
+    if instance.n == 0:
+        return 0.0
+    return float(max(instance.total_volume / instance.P, instance.heights.max()))
+
+
+def makespan_schedule(instance: Instance) -> ColumnSchedule:
+    """A schedule achieving the optimal makespan.
+
+    Every task runs at the constant rate ``V_i / C_max*`` for the whole
+    horizon, so all tasks complete simultaneously at ``C_max*``.  The
+    resulting column schedule has one real column followed by zero-length
+    ones (shared completion times).
+    """
+    n = instance.n
+    if n == 0:
+        return ColumnSchedule(instance, [], [], np.zeros((0, 0)))
+    horizon = minimal_makespan(instance)
+    order = list(range(n))
+    completion_times = np.full(n, horizon)
+    rates = np.zeros((n, n))
+    rates[:, 0] = instance.volumes / horizon
+    return ColumnSchedule(instance, order, completion_times, rates)

@@ -1,0 +1,199 @@
+"""Piecewise-constant capacity profile used by the greedy scheduler.
+
+The greedy algorithm of Section V (Algorithm 3) repeatedly gives the next
+task "as much resource as possible, as soon as possible".  The natural data
+structure for this is the profile of *remaining* platform capacity over time:
+a right-open step function that starts at ``P`` everywhere and decreases as
+tasks are placed.  :class:`CapacityProfile` maintains that step function and
+implements the greedy placement of a single task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import InvalidScheduleError, SimulationError
+
+__all__ = ["CapacityProfile", "ProfileAllocation"]
+
+
+@dataclass(frozen=True)
+class ProfileAllocation:
+    """Result of placing one task on a :class:`CapacityProfile`.
+
+    Attributes
+    ----------
+    completion_time:
+        Time at which the placed volume is fully processed.
+    pieces:
+        List of ``(start, end, rate)`` triples (with ``rate > 0``) describing
+        the piecewise-constant allocation given to the task.
+    """
+
+    completion_time: float
+    pieces: tuple[tuple[float, float, float], ...]
+
+    def volume(self) -> float:
+        """Total volume covered by the allocation pieces."""
+        return sum((end - start) * rate for start, end, rate in self.pieces)
+
+
+class CapacityProfile:
+    """Remaining platform capacity as a step function of time.
+
+    The profile is represented by sorted breakpoints ``t_0 = 0 < t_1 < ...``
+    and capacities ``c_k`` on ``[t_k, t_{k+1})``; the last capacity extends to
+    infinity.  Capacities never go negative (attempting to allocate more than
+    is available raises :class:`SimulationError`).
+    """
+
+    __slots__ = ("_times", "_capacities", "_atol")
+
+    def __init__(self, total_capacity: float, atol: float = 1e-12):
+        if not total_capacity > 0:
+            raise InvalidScheduleError("total capacity must be positive")
+        self._times: list[float] = [0.0]
+        self._capacities: list[float] = [float(total_capacity)]
+        self._atol = atol
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def breakpoints(self) -> list[float]:
+        """The breakpoints of the step function (first one is always 0)."""
+        return list(self._times)
+
+    @property
+    def capacities(self) -> list[float]:
+        """Capacity on each step (aligned with :attr:`breakpoints`)."""
+        return list(self._capacities)
+
+    def capacity_at(self, t: float) -> float:
+        """Remaining capacity at time ``t`` (right-continuous)."""
+        if t < 0:
+            return 0.0
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return self._capacities[max(idx, 0)]
+
+    def free_area_before(self, horizon: float, cap: float = np.inf) -> float:
+        """Free area in ``[0, horizon]``, each instant capped at ``cap``.
+
+        This is the quantity ``sum_k min(cap, available_k) * l_k`` used by
+        Lemma 4 of the paper.
+        """
+        total = 0.0
+        for k, (start, capacity) in enumerate(zip(self._times, self._capacities)):
+            end = self._times[k + 1] if k + 1 < len(self._times) else np.inf
+            lo, hi = start, min(end, horizon)
+            if hi > lo:
+                total += min(cap, capacity) * (hi - lo)
+            if end >= horizon:
+                break
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def _split_at(self, t: float) -> None:
+        """Ensure ``t`` is a breakpoint (splitting the step containing it)."""
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        if idx >= 0 and abs(self._times[idx] - t) <= self._atol:
+            return
+        if idx + 1 < len(self._times) and abs(self._times[idx + 1] - t) <= self._atol:
+            return
+        self._times.insert(idx + 1, t)
+        self._capacities.insert(idx + 1, self._capacities[idx])
+
+    def reserve(self, start: float, end: float, rate: float) -> None:
+        """Remove ``rate`` processors from the profile on ``[start, end)``."""
+        if end <= start + self._atol or rate <= self._atol:
+            return
+        self._split_at(start)
+        self._split_at(end)
+        for k, t in enumerate(self._times):
+            if t >= end - self._atol:
+                break
+            if t >= start - self._atol:
+                new_cap = self._capacities[k] - rate
+                if new_cap < -1e-7:
+                    raise SimulationError(
+                        f"capacity profile underflow at t={t}: {self._capacities[k]} - {rate}"
+                    )
+                self._capacities[k] = max(new_cap, 0.0)
+
+    def allocate_greedily(
+        self, volume: float, delta: float, release_time: float = 0.0
+    ) -> ProfileAllocation:
+        """Place a task of the given volume as early and as fast as possible.
+
+        At every instant after ``release_time`` the task uses
+        ``min(delta, available capacity)`` processors until its volume is
+        exhausted; the used capacity is removed from the profile.  This is
+        exactly the per-task step of Algorithm 3 ("allocate resources to the
+        task in order to minimise its completion time").
+        """
+        if volume <= 0:
+            return ProfileAllocation(completion_time=max(release_time, 0.0), pieces=())
+        if delta <= 0:
+            raise InvalidScheduleError("delta must be positive")
+        self._split_at(max(release_time, 0.0))
+        remaining = float(volume)
+        pieces: list[tuple[float, float, float]] = []
+        k = 0
+        guard = 0
+        while remaining > self._atol:
+            guard += 1
+            if guard > 10 * len(self._times) + 1000:
+                raise SimulationError("greedy allocation did not terminate")
+            if k >= len(self._times):
+                raise SimulationError("ran past the end of the capacity profile")
+            start = self._times[k]
+            end = self._times[k + 1] if k + 1 < len(self._times) else np.inf
+            if end <= release_time + self._atol:
+                k += 1
+                continue
+            start = max(start, release_time)
+            rate = min(delta, self._capacities[k])
+            if rate <= self._atol:
+                k += 1
+                continue
+            span = end - start
+            needed = remaining / rate
+            if needed <= span + self._atol:
+                finish = start + needed
+                pieces.append((start, finish, rate))
+                remaining = 0.0
+                self.reserve(start, finish, rate)
+                return ProfileAllocation(completion_time=finish, pieces=tuple(pieces))
+            pieces.append((start, end, rate))
+            remaining -= rate * span
+            self.reserve(start, end, rate)
+            # ``reserve`` may have inserted breakpoints; re-locate the index of
+            # the interval starting at ``end`` before continuing.
+            k = int(np.searchsorted(self._times, end, side="right")) - 1
+            if self._times[k] < end - self._atol:
+                k += 1
+        return ProfileAllocation(
+            completion_time=pieces[-1][1] if pieces else max(release_time, 0.0),
+            pieces=tuple(pieces),
+        )
+
+    def copy(self) -> "CapacityProfile":
+        """Deep copy of the profile."""
+        clone = CapacityProfile(total_capacity=max(self._capacities[0], self._atol * 2) or 1.0)
+        clone._times = list(self._times)
+        clone._capacities = list(self._capacities)
+        clone._atol = self._atol
+        return clone
+
+    def __repr__(self) -> str:
+        steps = ", ".join(
+            f"[{t:g}, {'inf' if k + 1 == len(self._times) else f'{self._times[k + 1]:g}'}): {c:g}"
+            for k, (t, c) in enumerate(zip(self._times, self._capacities))
+        )
+        return f"CapacityProfile({steps})"

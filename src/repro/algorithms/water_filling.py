@@ -1,0 +1,240 @@
+"""The Water-Filling normal-form algorithm (Section IV, Algorithm 2).
+
+Given an instance and a *target completion time for every task*, Algorithm WF
+reconstructs a valid column-based fractional schedule in which every task
+finishes exactly at (or before) its target, whenever such a schedule exists
+(Theorem 8).  Tasks are processed by non-decreasing completion time; task
+``T_i`` may only use columns ``1..i`` and its allocation is obtained by
+"pouring" its volume onto the current occupancy profile, the level rising as
+little as possible, subject to the per-task cap ``delta_i``:
+
+``wf_i(h) = sum_{k <= i} l_k * clamp(h - h_k, 0, delta_i)``
+
+where ``h_k`` is the occupancy of column ``k`` after tasks ``T_1..T_{i-1}``
+have been placed.  The task's allocation in column ``k`` is the increment of
+that column's height.
+
+Properties reproduced and tested:
+
+* correctness (Theorem 8): WF succeeds iff the completion times are feasible;
+* the occupancy profile stays non-increasing over time (Lemma 3);
+* the number of changes in a task's allocation is at most ``n`` overall
+  (Lemma 5 / Theorem 9);
+* on integer conversion, the number of preemptions is at most ``3n``
+  (Theorem 10) — see :mod:`repro.algorithms.preemption`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InfeasibleScheduleError, InvalidScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import ColumnSchedule
+
+__all__ = ["water_filling_schedule", "water_filling_levels", "water_fill_function"]
+
+
+def water_fill_function(
+    lengths: np.ndarray, heights: np.ndarray, delta: float, level: float
+) -> float:
+    """The function ``wf_i(h)`` of the paper for a given water level.
+
+    ``lengths`` and ``heights`` describe the columns available to the task
+    (duration and current occupancy); ``delta`` is the task's cap.  Returns
+    the total volume that can be poured without exceeding ``level`` in any
+    column nor ``delta`` per column.
+    """
+    gain = np.clip(level - heights, 0.0, delta)
+    return float(np.dot(lengths, gain))
+
+
+def _solve_water_level_bisect(
+    lengths: np.ndarray,
+    heights: np.ndarray,
+    delta: float,
+    volume: float,
+    atol: float,
+    max_iterations: int = 200,
+) -> float:
+    """Smallest level with ``wf(h) >= volume`` by bisection.
+
+    Kept as an independent cross-check of the exact breakpoint scan (see
+    DESIGN.md, design choices): ``wf`` is continuous and non-decreasing in the
+    level, so bisection between the lowest occupancy and the highest
+    occupancy plus ``delta`` converges geometrically.
+    """
+    lo = float(heights.min(initial=0.0))
+    hi = float(heights.max(initial=0.0)) + delta
+    if water_fill_function(lengths, heights, delta, hi) < volume * (1 - 1e-7) - atol:
+        raise InfeasibleScheduleError(
+            f"cannot pour volume {volume:.6g}: the available area is too small"
+        )
+    for _ in range(max_iterations):
+        if hi - lo <= max(atol, 1e-15 * max(abs(hi), 1.0)):
+            break
+        mid = 0.5 * (lo + hi)
+        if water_fill_function(lengths, heights, delta, mid) >= volume:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def _solve_water_level(
+    lengths: np.ndarray, heights: np.ndarray, delta: float, volume: float, atol: float
+) -> float:
+    """Smallest level ``h`` with ``wf(h) >= volume`` (exact breakpoint scan).
+
+    ``wf`` is piecewise linear and non-decreasing in ``h`` with breakpoints at
+    every ``h_k`` and ``h_k + delta``; between consecutive breakpoints its
+    slope is the total length of the columns whose occupancy is below the
+    level but within ``delta`` of it.  We scan the breakpoints in increasing
+    order and interpolate inside the right segment, which is exact (no
+    bisection tolerance).
+    """
+    if volume <= atol:
+        return float(heights.min(initial=0.0))
+    breakpoints = np.unique(np.concatenate((heights, heights + delta)))
+    prev_level = float(breakpoints[0])
+    prev_value = water_fill_function(lengths, heights, delta, prev_level)
+    if prev_value >= volume - atol:
+        return prev_level
+    for level in breakpoints[1:]:
+        value = water_fill_function(lengths, heights, delta, float(level))
+        if value >= volume - atol:
+            # Interpolate inside [prev_level, level]; the slope is constant.
+            slope = (value - prev_value) / (level - prev_level)
+            if slope <= atol:
+                return float(level)
+            return float(prev_level + (volume - prev_value) / slope)
+        prev_level, prev_value = float(level), value
+    # Above the last breakpoint the function is constant: the volume cannot be
+    # poured no matter the level.  A shortfall within numerical noise (the
+    # completion times typically come from another floating-point schedule)
+    # is absorbed by returning the saturating level; the caller rescales the
+    # poured gains to the exact volume.
+    if prev_value >= volume * (1 - 1e-7) - atol:
+        return prev_level
+    raise InfeasibleScheduleError(
+        f"cannot pour volume {volume:.6g}: the available area is only {prev_value:.6g}"
+    )
+
+
+def water_filling_levels(
+    instance: Instance,
+    completion_times: Sequence[float],
+    atol: float = 1e-9,
+    level_search: str = "scan",
+) -> tuple[ColumnSchedule, np.ndarray]:
+    """Run Algorithm WF and also return the water level chosen for every task.
+
+    See :func:`water_filling_schedule` for the main entry point; this variant
+    additionally exposes the levels ``h_i`` (one per task, indexed by
+    completion order), which the structural tests of Lemma 3 use.
+
+    ``level_search`` selects how the per-task water level is computed:
+    ``"scan"`` (default) walks the breakpoints of the piecewise-linear pour
+    function and interpolates exactly; ``"bisect"`` uses a tolerance-driven
+    bisection and exists as an independent cross-check (see DESIGN.md).
+    """
+    if level_search not in ("scan", "bisect"):
+        raise InvalidScheduleError(f"unknown level_search method {level_search!r}")
+    n = instance.n
+    C = np.asarray(completion_times, dtype=float)
+    if C.shape != (n,):
+        raise InvalidScheduleError(
+            f"expected {n} completion times, got shape {C.shape}"
+        )
+    if np.any(C < -atol):
+        raise InvalidScheduleError("completion times must be non-negative")
+
+    order = sorted(range(n), key=lambda i: (C[i], i))
+    sorted_C = np.array([max(C[i], 0.0) for i in order])
+    lengths = np.diff(np.concatenate(([0.0], sorted_C)))
+    rates = np.zeros((n, n))
+    occupancy = np.zeros(n)  # current height of every column
+    levels = np.zeros(n)
+
+    for pos, task in enumerate(order):
+        delta = float(instance.deltas[task])
+        volume = float(instance.volumes[task])
+        usable = np.nonzero(lengths[: pos + 1] > atol)[0]
+        if usable.size == 0:
+            if volume > atol:
+                raise InfeasibleScheduleError(
+                    f"task {task} has volume {volume:.6g} but completion time "
+                    f"{sorted_C[pos]:.6g} leaves no room to schedule it"
+                )
+            levels[pos] = 0.0
+            continue
+        usable_lengths = lengths[usable]
+        usable_heights = occupancy[usable]
+        max_pourable = water_fill_function(
+            usable_lengths, usable_heights, delta, float(instance.P)
+        )
+        # The feasibility margin is relative: completion times usually come
+        # from another schedule computed in floating point, so a shortfall of
+        # a few ulps (amplified by n accumulations) must not be treated as
+        # infeasible; genuine infeasibilities are orders of magnitude larger.
+        if max_pourable < volume * (1 - 1e-7) - atol:
+            raise InfeasibleScheduleError(
+                f"no valid schedule: task {task} needs volume {volume:.6g} by time "
+                f"{sorted_C[pos]:.6g} but at most {max_pourable:.6g} fits "
+                "(Algorithm WF, Theorem 8)"
+            )
+        if level_search == "scan":
+            level = _solve_water_level(usable_lengths, usable_heights, delta, volume, atol)
+        else:
+            level = _solve_water_level_bisect(
+                usable_lengths, usable_heights, delta, volume, atol
+            )
+        level = min(level, float(instance.P))
+        gain = np.clip(level - usable_heights, 0.0, delta)
+        poured = float(np.dot(usable_lengths, gain))
+        # Tiny numerical deficit (from the interpolation) is corrected by
+        # scaling the gains, which cannot violate the cap because we only
+        # ever scale *down* or by a factor within the tolerance.
+        if poured > atol and abs(poured - volume) > atol:
+            gain = gain * (volume / poured)
+        rates[task, usable] = gain
+        occupancy[usable] += gain
+        levels[pos] = level
+
+    schedule = ColumnSchedule(instance, order, sorted_C, rates)
+    return schedule, levels
+
+
+def water_filling_schedule(
+    instance: Instance,
+    completion_times: Sequence[float],
+    atol: float = 1e-9,
+    level_search: str = "scan",
+) -> ColumnSchedule:
+    """Normalise a set of completion times into a Water-Filling schedule.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    completion_times:
+        Target completion time for every task, indexed by task.  They may
+        come from any valid schedule (Theorem 8 guarantees WF then succeeds)
+        or be arbitrary targets (WF raises
+        :class:`~repro.core.exceptions.InfeasibleScheduleError` when they are
+        infeasible, which is exactly the feasibility test used by the
+        ``L_max`` solver).
+
+    Returns
+    -------
+    ColumnSchedule
+        The normal-form schedule in which each task completes at its target
+        time (or earlier, when its last columns would have received a zero
+        allocation).
+    """
+    schedule, _ = water_filling_levels(
+        instance, completion_times, atol=atol, level_search=level_search
+    )
+    return schedule

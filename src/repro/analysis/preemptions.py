@@ -1,0 +1,95 @@
+"""Preemption measurements for the normal-form experiments (Theorems 9-10).
+
+Given an instance and a set of completion times (typically produced by WDEQ,
+a greedy schedule or the LP), the report runs the Water-Filling
+normalisation, converts it to an integer per-processor schedule with the
+sticky assignment of Lemma 10, and compares the measured counts against the
+paper's bounds: at most ``n`` fractional allocation changes (Theorem 9) and
+at most ``3n`` preemptions in the integer schedule (Theorem 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.preemption import assign_processors, integer_allocation_change_count
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.core.instance import Instance
+
+__all__ = ["PreemptionReport", "preemption_report"]
+
+
+@dataclass(frozen=True)
+class PreemptionReport:
+    """Preemption-related counts for one normalised schedule.
+
+    Attributes
+    ----------
+    n:
+        Number of tasks.
+    fractional_changes:
+        Changes in the fractional per-task allocation over time using the
+        paper's accounting (Lemma 5 / Theorem 9 bound: ``n``).
+    fractional_changes_raw:
+        Same, but counting every interior change including the single entry
+        into saturation per task (can exceed ``n`` by at most ``n``).
+    integer_changes:
+        Changes in the integer per-task processor count over time for this
+        library's per-column-exact conversion.  The paper's optimised
+        conversion (Lemma 9) achieves at most ``3n``; ours preserves the
+        per-column areas exactly and is therefore larger — the count is
+        reported for transparency (see DESIGN.md, deviations).
+    preemptions:
+        Preemptions of the sticky processor assignment built on that integer
+        conversion (a processor reclaimed from an unfinished task).
+    migrations:
+        Number of task resumptions on a new processor (stricter notion, not
+        bounded by the paper but interesting operationally).
+    """
+
+    n: int
+    fractional_changes: int
+    fractional_changes_raw: int
+    integer_changes: int
+    preemptions: int
+    migrations: int
+
+    @property
+    def fractional_bound(self) -> int:
+        """The Theorem 9 bound ``n``."""
+        return self.n
+
+    @property
+    def integer_bound(self) -> int:
+        """The Theorem 10 bound ``3n`` (for the paper's optimised conversion)."""
+        return 3 * self.n
+
+    @property
+    def within_bounds(self) -> bool:
+        """True when the proven claims for this library's constructions hold.
+
+        That is: the fractional change count (paper accounting) is at most
+        ``n``, and the raw fractional count at most ``2n`` (the extra change
+        per task being the entry into saturation).
+        """
+        return (
+            self.fractional_changes <= self.fractional_bound
+            and self.fractional_changes_raw <= 2 * self.n
+        )
+
+
+def preemption_report(
+    instance: Instance, completion_times: Sequence[float]
+) -> PreemptionReport:
+    """Normalise the completion times with WF and measure preemption counts."""
+    schedule = water_filling_schedule(instance, completion_times)
+    assignment = assign_processors(schedule)
+    return PreemptionReport(
+        n=instance.n,
+        fractional_changes=schedule.allocation_change_count(convention="paper"),
+        fractional_changes_raw=schedule.allocation_change_count(convention="all"),
+        integer_changes=integer_allocation_change_count(schedule),
+        preemptions=assignment.count_preemptions(),
+        migrations=assignment.count_migrations(),
+    )

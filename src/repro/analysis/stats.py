@@ -1,0 +1,56 @@
+"""Small summary-statistics helpers shared by the experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def as_row(self, fmt: str = "{:.4g}") -> list[str]:
+        """Render the statistics as table cells."""
+        return [
+            str(self.count),
+            fmt.format(self.mean),
+            fmt.format(self.std),
+            fmt.format(self.minimum),
+            fmt.format(self.median),
+            fmt.format(self.p95),
+            fmt.format(self.maximum),
+        ]
+
+    @staticmethod
+    def header() -> list[str]:
+        """Column names matching :meth:`as_row`."""
+        return ["count", "mean", "std", "min", "median", "p95", "max"]
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summarise a sample; empty samples yield all-zero statistics."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )

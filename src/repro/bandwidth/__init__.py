@@ -1,0 +1,31 @@
+"""Master–worker bandwidth-sharing substrate (Figure 1 of the paper).
+
+The paper motivates the malleable-task model with TCP bandwidth sharing: a
+server with outgoing bandwidth ``P`` distributes codes of size ``V_i`` to
+workers whose incoming bandwidth is ``delta_i``; each worker processes jobs
+at rate ``w_i`` once its code has arrived.  Maximising the number of jobs
+processed by a horizon ``T`` — ``sum_i w_i (T - C_i)`` — is equivalent to
+minimising ``sum_i w_i C_i``.
+
+This subpackage models that scenario explicitly (:mod:`repro.bandwidth.network`)
+and maps it onto the scheduling instance model
+(:mod:`repro.bandwidth.transfer`), so the paper's algorithms can be evaluated
+on the workload that motivates them (experiment E8).
+"""
+
+from repro.bandwidth.network import BandwidthScenario, Worker
+from repro.bandwidth.transfer import (
+    TransferPlan,
+    plan_transfers,
+    scenario_to_instance,
+    throughput,
+)
+
+__all__ = [
+    "Worker",
+    "BandwidthScenario",
+    "scenario_to_instance",
+    "plan_transfers",
+    "TransferPlan",
+    "throughput",
+]

@@ -1,0 +1,136 @@
+"""Model of the master–worker code-distribution platform of Figure 1.
+
+The platform consists of a single server with bounded outgoing bandwidth and
+a set of workers, each with a bounded incoming bandwidth, a code to download
+and a processing rate.  Transfers share the server's outgoing bandwidth and
+may be split arbitrarily over time (TCP-style rate control with quality of
+service, as the paper's references [5]-[7] discuss), which is exactly the
+work-preserving malleable model: the "area" of a transfer is its code size,
+its per-instant rate is bounded by the worker's link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInstanceError
+
+__all__ = ["Worker", "BandwidthScenario"]
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A worker node in the code-distribution scenario.
+
+    Attributes
+    ----------
+    name:
+        Identifier for reports.
+    code_size:
+        Size of the code to download (volume ``V_i``), e.g. in Mbit.
+    incoming_bandwidth:
+        Capacity of the worker's access link (cap ``delta_i``), e.g. Mbit/s.
+    processing_rate:
+        Number of application tasks the worker processes per time unit once
+        its code has arrived (weight ``w_i``).
+    """
+
+    name: str
+    code_size: float
+    incoming_bandwidth: float
+    processing_rate: float
+
+    def __post_init__(self) -> None:
+        if self.code_size <= 0:
+            raise InvalidInstanceError("code_size must be positive")
+        if self.incoming_bandwidth <= 0:
+            raise InvalidInstanceError("incoming_bandwidth must be positive")
+        if self.processing_rate < 0:
+            raise InvalidInstanceError("processing_rate must be non-negative")
+
+    @property
+    def minimal_transfer_time(self) -> float:
+        """Fastest possible download time (link fully dedicated)."""
+        return self.code_size / self.incoming_bandwidth
+
+
+@dataclass
+class BandwidthScenario:
+    """A complete code-distribution scenario.
+
+    Attributes
+    ----------
+    server_bandwidth:
+        Outgoing capacity of the server (the platform size ``P``).
+    workers:
+        The worker nodes.
+    horizon:
+        The time horizon ``T`` by which processed jobs are counted
+        (Figure 1's phase-2 deadline).
+    """
+
+    server_bandwidth: float
+    workers: list[Worker] = field(default_factory=list)
+    horizon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.server_bandwidth <= 0:
+            raise InvalidInstanceError("server_bandwidth must be positive")
+        if self.horizon < 0:
+            raise InvalidInstanceError("horizon must be non-negative")
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers."""
+        return len(self.workers)
+
+    def lower_bound_horizon(self) -> float:
+        """Smallest horizon by which *all* codes can possibly be delivered.
+
+        This is the optimal makespan of the induced malleable instance:
+        ``max(total code size / server bandwidth, max_i code_i / link_i)``.
+        Scenarios whose horizon is below this value cannot deliver every code
+        in time, which is allowed (late workers simply process nothing).
+        """
+        if not self.workers:
+            return 0.0
+        total = sum(w.code_size for w in self.workers)
+        return max(
+            total / self.server_bandwidth,
+            max(w.minimal_transfer_time for w in self.workers),
+        )
+
+    def with_default_horizon(self, slack: float = 2.0) -> "BandwidthScenario":
+        """Return a copy whose horizon is ``slack`` times the delivery lower bound."""
+        return BandwidthScenario(
+            server_bandwidth=self.server_bandwidth,
+            workers=list(self.workers),
+            horizon=slack * self.lower_bound_horizon(),
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_workers: int,
+        server_bandwidth: float = 1000.0,
+        horizon_slack: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> "BandwidthScenario":
+        """Generate a random scenario (same distributions as the workload suite)."""
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        link_choices = np.array([10.0, 100.0, 250.0, 500.0, 1000.0])
+        workers = [
+            Worker(
+                name=f"worker{i + 1}",
+                code_size=float(generator.uniform(50.0, 2000.0)),
+                incoming_bandwidth=float(
+                    min(generator.choice(link_choices), server_bandwidth)
+                ),
+                processing_rate=float(generator.uniform(0.5, 8.0)),
+            )
+            for i in range(num_workers)
+        ]
+        scenario = cls(server_bandwidth=server_bandwidth, workers=workers, horizon=0.0)
+        return scenario.with_default_horizon(horizon_slack)

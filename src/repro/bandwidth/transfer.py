@@ -1,0 +1,162 @@
+"""Mapping between the bandwidth-sharing scenario and the scheduling model.
+
+The reduction of Figure 1: treating each code transfer as a malleable task
+(volume = code size, cap = worker link, weight = processing rate), the number
+of application jobs processed by the horizon ``T`` is
+
+``sum_i w_i * max(0, T - C_i)``
+
+so maximising throughput is (up to the clamp at 0) the same as minimising the
+weighted sum of completion times ``sum_i w_i C_i``.  This module converts
+scenarios to instances, evaluates transfer plans produced by any scheduling
+algorithm, and provides the naive baselines (sequential transfers, uniform
+fair sharing) that experiment E8 compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.bandwidth.network import BandwidthScenario
+from repro.core.exceptions import InvalidInstanceError
+from repro.core.instance import Instance, Task
+from repro.simulation.engine import simulate
+from repro.simulation.policies import DeqPolicy, WdeqPolicy
+
+__all__ = [
+    "scenario_to_instance",
+    "throughput",
+    "TransferPlan",
+    "plan_transfers",
+    "sequential_completion_times",
+    "fair_share_completion_times",
+]
+
+
+def scenario_to_instance(scenario: BandwidthScenario) -> Instance:
+    """Convert a bandwidth scenario into a malleable scheduling instance.
+
+    Workers with a zero processing rate are given a tiny positive weight so
+    that online policies (which require positive weights) still eventually
+    deliver their code; the objective contribution of such workers is
+    negligible by construction.
+    """
+    if scenario.num_workers == 0:
+        raise InvalidInstanceError("the scenario has no workers")
+    tasks = [
+        Task(
+            volume=w.code_size,
+            weight=max(w.processing_rate, 1e-9),
+            delta=min(w.incoming_bandwidth, scenario.server_bandwidth),
+            name=w.name,
+        )
+        for w in scenario.workers
+    ]
+    return Instance(P=scenario.server_bandwidth, tasks=tasks)
+
+
+def throughput(
+    scenario: BandwidthScenario,
+    completion_times: Sequence[float],
+    clamp: bool = True,
+) -> float:
+    """Jobs processed by the horizon for given code-arrival times.
+
+    With ``clamp=True`` (the physical reading) workers whose code arrives
+    after the horizon contribute nothing; with ``clamp=False`` the formula is
+    the exact linear objective ``sum_i w_i (T - C_i)`` whose maximisation is
+    equivalent to minimising ``sum_i w_i C_i`` (Section I of the paper).
+    """
+    C = np.asarray(completion_times, dtype=float)
+    if C.shape != (scenario.num_workers,):
+        raise InvalidInstanceError(
+            f"expected {scenario.num_workers} completion times, got shape {C.shape}"
+        )
+    rates = np.array([w.processing_rate for w in scenario.workers])
+    slack = scenario.horizon - C
+    if clamp:
+        slack = np.maximum(slack, 0.0)
+    return float(np.dot(rates, slack))
+
+
+@dataclass
+class TransferPlan:
+    """A named transfer schedule for a scenario.
+
+    Attributes
+    ----------
+    strategy:
+        Name of the scheduling strategy that produced the plan.
+    completion_times:
+        Code-arrival time of every worker (aligned with ``scenario.workers``).
+    """
+
+    strategy: str
+    completion_times: np.ndarray
+
+    def weighted_completion_time(self, scenario: BandwidthScenario) -> float:
+        """The scheduling objective ``sum_i w_i C_i`` of the plan."""
+        rates = np.array([w.processing_rate for w in scenario.workers])
+        return float(np.dot(rates, self.completion_times))
+
+    def throughput(self, scenario: BandwidthScenario, clamp: bool = True) -> float:
+        """Jobs processed by the horizon under the plan."""
+        return throughput(scenario, self.completion_times, clamp=clamp)
+
+
+def sequential_completion_times(instance: Instance) -> np.ndarray:
+    """Naive baseline: send the codes one at a time, each at full link speed.
+
+    Workers are served in their given order; the server dedicates
+    ``min(delta_i, P)`` to the current transfer and nothing to the others —
+    the behaviour of a simple FTP loop without bandwidth sharing.
+    """
+    completions = np.zeros(instance.n)
+    t = 0.0
+    for i in range(instance.n):
+        t += instance.volumes[i] / min(instance.deltas[i], instance.P)
+        completions[i] = t
+    return completions
+
+
+def fair_share_completion_times(instance: Instance) -> np.ndarray:
+    """Naive baseline: unweighted fair sharing of the server bandwidth (DEQ)."""
+    result = simulate(instance, DeqPolicy())
+    return result.completion_times
+
+
+def plan_transfers(
+    scenario: BandwidthScenario,
+    strategies: dict[str, Callable[[Instance], np.ndarray]] | None = None,
+) -> list[TransferPlan]:
+    """Evaluate a set of transfer strategies on a scenario.
+
+    The default line-up is: sequential transfers, unweighted fair sharing
+    (DEQ), the paper's WDEQ, and the clairvoyant best-greedy schedule using
+    Smith's ordering seed (the strongest practical offline heuristic in this
+    library).
+    """
+    instance = scenario_to_instance(scenario)
+    if strategies is None:
+        from repro.algorithms.greedy import local_search_greedy_schedule
+
+        def _wdeq(inst: Instance) -> np.ndarray:
+            return simulate(inst, WdeqPolicy()).completion_times
+
+        def _greedy(inst: Instance) -> np.ndarray:
+            return local_search_greedy_schedule(inst, restarts=1).completion_times
+
+        strategies = {
+            "sequential": sequential_completion_times,
+            "fair share (DEQ)": fair_share_completion_times,
+            "WDEQ": _wdeq,
+            "greedy (Smith + local search)": _greedy,
+        }
+    plans = []
+    for name, strategy in strategies.items():
+        completions = np.asarray(strategy(instance), dtype=float)
+        plans.append(TransferPlan(strategy=name, completion_times=completions))
+    return plans

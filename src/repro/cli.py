@@ -1,0 +1,106 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Examples
+--------
+List the available experiments::
+
+    malleable-repro list
+
+Run one experiment with the quick (default) parameters::
+
+    malleable-repro run E1
+
+Run everything and regenerate the Markdown report::
+
+    malleable-repro all --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import render_markdown_report, run_all
+from repro.viz.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="malleable-repro",
+        description=(
+            "Reproduction harness for 'Minimizing Weighted Mean Completion Time for "
+            "Malleable Tasks Scheduling' (IPDPS 2012)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E1")
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    run_parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's instance counts (much slower)",
+    )
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    all_parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's instance counts (much slower)",
+    )
+    all_parser.add_argument(
+        "--output",
+        default=None,
+        help="write a Markdown report to this path (default: print text to stdout)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``malleable-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        rows = [
+            [spec.experiment_id, spec.title, spec.paper_artifact]
+            for spec in sorted(EXPERIMENTS.values(), key=lambda s: s.experiment_id)
+        ]
+        print(format_table(["id", "title", "paper artifact"], rows))
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(
+            args.experiment, seed=args.seed, paper_scale=args.paper_scale
+        )
+        print(result.to_text())
+        return 0
+
+    if args.command == "all":
+        results = run_all(seed=args.seed, paper_scale=args.paper_scale)
+        if args.output:
+            report = render_markdown_report(results)
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"wrote {args.output}")
+        else:
+            for result in results:
+                print(result.to_text())
+                print()
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Core model of work-preserving malleable task scheduling.
+
+This subpackage contains everything that is *problem definition* rather than
+*algorithm*: the instance model (Section II of the paper), the schedule
+representations for the continuous formulation (MWCT) and the column-based
+fractional formulation (MWCT-CB-F), the objective functions, the lower bounds
+used in the analysis of WDEQ, the constructive equivalence of Theorem 3, and
+validity checkers for every representation.
+"""
+
+from repro.core.exceptions import (
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ReproError,
+)
+from repro.core.instance import Instance, Task
+from repro.core.schedule import (
+    ColumnSchedule,
+    ContinuousSchedule,
+    ProcessorAssignment,
+    ProcessorSegment,
+)
+from repro.core.objectives import (
+    makespan,
+    max_lateness,
+    total_completion_time,
+    weighted_completion_time,
+    weighted_throughput,
+)
+from repro.core.bounds import (
+    combined_lower_bound,
+    height_bound,
+    mixed_lower_bound,
+    squashed_area_bound,
+)
+from repro.core.conversion import (
+    column_to_continuous,
+    column_to_processor_assignment,
+    continuous_to_column,
+)
+from repro.core.validation import (
+    check_column_schedule,
+    check_continuous_schedule,
+    check_processor_assignment,
+    validate_column_schedule,
+    validate_continuous_schedule,
+    validate_processor_assignment,
+)
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleScheduleError",
+    "Task",
+    "Instance",
+    "ColumnSchedule",
+    "ContinuousSchedule",
+    "ProcessorAssignment",
+    "ProcessorSegment",
+    "weighted_completion_time",
+    "total_completion_time",
+    "weighted_throughput",
+    "makespan",
+    "max_lateness",
+    "squashed_area_bound",
+    "height_bound",
+    "mixed_lower_bound",
+    "combined_lower_bound",
+    "column_to_continuous",
+    "column_to_processor_assignment",
+    "continuous_to_column",
+    "check_column_schedule",
+    "check_continuous_schedule",
+    "check_processor_assignment",
+    "validate_column_schedule",
+    "validate_continuous_schedule",
+    "validate_processor_assignment",
+]

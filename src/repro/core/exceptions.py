@@ -1,0 +1,47 @@
+"""Exception hierarchy for the malleable-task scheduling library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by the package with a single ``except`` clause
+while still distinguishing modelling errors from algorithmic failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An :class:`~repro.core.instance.Instance` violates the model.
+
+    Raised when task volumes or weights are not positive, when a per-task
+    processor cap ``delta_i`` is non-positive or exceeds the platform size
+    ``P``, or when the platform size itself is non-positive.
+    """
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule object is structurally inconsistent with its instance.
+
+    Examples: an allocation matrix with the wrong shape, completion times
+    that are not sorted in the order required by the column-based
+    formulation, or a permutation that is not a permutation.
+    """
+
+
+class InfeasibleScheduleError(ReproError, RuntimeError):
+    """No valid schedule exists for the requested completion times.
+
+    Raised by the Water-Filling algorithm (Theorem 8) when the prescribed
+    completion times cannot be met, and by validity checkers when a schedule
+    violates the resource constraints beyond numerical tolerance.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """A linear-programming backend failed to produce an optimal solution."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The event-driven simulation engine reached an inconsistent state."""

@@ -1,0 +1,373 @@
+"""Instance model for work-preserving malleable task scheduling.
+
+An *instance* (Definition 1 of the paper) is a platform of ``P`` identical
+processors together with ``n`` tasks ``T_1, ..., T_n``.  Task ``T_i`` carries
+
+* a total work (volume) ``V_i`` — the area it occupies in a Gantt chart,
+  independent of how many processors it uses at any instant,
+* a weight ``w_i`` used by the objective ``sum_i w_i C_i``,
+* a cap ``delta_i`` on the number of processors it may use simultaneously.
+
+The paper states the model with an integer number of processors, but proves
+(Theorem 3) that the fractional, column-based formulation is equivalent;
+throughout the library processor counts are therefore real-valued, which also
+covers the bandwidth-sharing interpretation of Figure 1 (``P`` is a server's
+outgoing bandwidth and ``delta_i`` a worker's incoming bandwidth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidInstanceError
+
+__all__ = ["Task", "Instance"]
+
+#: Relative tolerance used when comparing volumes / capacities throughout the
+#: library.  Kept deliberately loose because schedules are produced by chains
+#: of floating-point operations (LP solves, water-filling level searches).
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single work-preserving malleable task.
+
+    Parameters
+    ----------
+    volume:
+        Total work ``V_i > 0``.  Running on ``q`` processors the task needs
+        ``volume / q`` time units.
+    weight:
+        Weight ``w_i >= 0`` in the objective ``sum w_i C_i``.  Zero weights
+        are allowed (such a task only consumes resources).
+    delta:
+        Maximum number of processors ``delta_i > 0`` the task can use
+        simultaneously.  May be fractional (Section V-B of the paper uses
+        ``P = 1`` and ``delta_i in [1/2, 1]``).
+    name:
+        Optional human-readable identifier used in reports and Gantt charts.
+    """
+
+    volume: float
+    weight: float = 1.0
+    delta: float = math.inf
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.volume > 0) or not math.isfinite(self.volume):
+            raise InvalidInstanceError(
+                f"task volume must be positive and finite, got {self.volume!r}"
+            )
+        if self.weight < 0 or not math.isfinite(self.weight):
+            raise InvalidInstanceError(
+                f"task weight must be non-negative and finite, got {self.weight!r}"
+            )
+        if not (self.delta > 0):
+            raise InvalidInstanceError(
+                f"task delta must be positive, got {self.delta!r}"
+            )
+
+    @property
+    def height(self) -> float:
+        """Minimum possible execution time ``h_i = V_i / delta_i``.
+
+        This is the *height* used by the height bound ``H(I)``
+        (Definition 6 of the paper).
+        """
+        if math.isinf(self.delta):
+            return 0.0
+        return self.volume / self.delta
+
+    @property
+    def smith_ratio(self) -> float:
+        """Smith's rule ratio ``V_i / w_i`` (smaller is scheduled earlier).
+
+        Tasks with zero weight get an infinite ratio so that Smith ordering
+        pushes them last.
+        """
+        if self.weight == 0:
+            return math.inf
+        return self.volume / self.weight
+
+    def with_volume(self, volume: float) -> "Task":
+        """Return a copy of the task with a different volume.
+
+        Used to build the sub-instances ``I[V'_i]`` of Definition 7.
+        A volume of exactly zero is represented by ``None`` at the instance
+        level (zero-volume tasks are dropped); this method therefore requires
+        ``volume > 0``.
+        """
+        return Task(volume=volume, weight=self.weight, delta=self.delta, name=self.name)
+
+    def scaled(self, volume_factor: float = 1.0, weight_factor: float = 1.0) -> "Task":
+        """Return a copy with volume and weight multiplied by the factors."""
+        return Task(
+            volume=self.volume * volume_factor,
+            weight=self.weight * weight_factor,
+            delta=self.delta,
+            name=self.name,
+        )
+
+
+class Instance:
+    """An immutable scheduling instance ``I = (P, (w_i), (V_i), (delta_i))``.
+
+    The instance exposes its data both as :class:`Task` objects (convenient
+    for construction and for the online simulation) and as NumPy arrays
+    (convenient for the vectorised algorithms and the LP formulation).
+
+    Parameters
+    ----------
+    P:
+        Total number of processors (or total server bandwidth).  Must be
+        positive; may be fractional.
+    tasks:
+        Iterable of :class:`Task`.  At least one task is required for most
+        algorithms, but empty instances are accepted (they model an idle
+        platform and every algorithm returns an empty schedule for them).
+    clamp_delta:
+        When true (the default), per-task caps larger than ``P`` are clamped
+        to ``P`` — a task can never use more than the whole platform, so this
+        is without loss of generality and mirrors the paper's convention that
+        ``delta_i = P`` means "no individual cap".
+    """
+
+    __slots__ = ("_P", "_tasks", "_volumes", "_weights", "_deltas")
+
+    def __init__(self, P: float, tasks: Iterable[Task], *, clamp_delta: bool = True):
+        if not (P > 0) or not math.isfinite(P):
+            raise InvalidInstanceError(f"platform size P must be positive and finite, got {P!r}")
+        task_tuple = tuple(tasks)
+        for t in task_tuple:
+            if not isinstance(t, Task):
+                raise InvalidInstanceError(f"expected Task, got {type(t).__name__}")
+        if clamp_delta:
+            task_tuple = tuple(
+                t if t.delta <= P else Task(t.volume, t.weight, float(P), t.name)
+                for t in task_tuple
+            )
+        else:
+            for t in task_tuple:
+                if t.delta > P:
+                    raise InvalidInstanceError(
+                        f"task delta {t.delta} exceeds platform size {P} "
+                        "(pass clamp_delta=True to clamp automatically)"
+                    )
+        self._P = float(P)
+        self._tasks = task_tuple
+        self._volumes = np.array([t.volume for t in task_tuple], dtype=float)
+        self._weights = np.array([t.weight for t in task_tuple], dtype=float)
+        self._deltas = np.array([t.delta for t in task_tuple], dtype=float)
+        self._volumes.setflags(write=False)
+        self._weights.setflags(write=False)
+        self._deltas.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(
+        cls,
+        P: float,
+        volumes: Sequence[float],
+        weights: Sequence[float] | None = None,
+        deltas: Sequence[float] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> "Instance":
+        """Build an instance from parallel arrays.
+
+        ``weights`` defaults to all ones and ``deltas`` to ``P`` (no per-task
+        cap), matching the special cases listed in Table I of the paper.
+        """
+        volumes = list(volumes)
+        n = len(volumes)
+        if weights is None:
+            weights = [1.0] * n
+        if deltas is None:
+            deltas = [float(P)] * n
+        if names is None:
+            names = [f"T{i + 1}" for i in range(n)]
+        if not (len(weights) == len(deltas) == len(names) == n):
+            raise InvalidInstanceError(
+                "volumes, weights, deltas and names must have the same length"
+            )
+        tasks = [
+            Task(volume=float(v), weight=float(w), delta=float(d), name=str(nm))
+            for v, w, d, nm in zip(volumes, weights, deltas, names)
+        ]
+        return cls(P=P, tasks=tasks)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def P(self) -> float:
+        """Total number of processors (platform size)."""
+        return self._P
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """The tasks, in their original order."""
+        return self._tasks
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return len(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __getitem__(self, i: int) -> Task:
+        return self._tasks[i]
+
+    @property
+    def volumes(self) -> np.ndarray:
+        """Read-only array of task volumes ``V_i``."""
+        return self._volumes
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only array of task weights ``w_i``."""
+        return self._weights
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """Read-only array of per-task processor caps ``delta_i``."""
+        return self._deltas
+
+    @property
+    def heights(self) -> np.ndarray:
+        """Array of task heights ``h_i = V_i / delta_i`` (Definition 6)."""
+        return self._volumes / self._deltas
+
+    @property
+    def total_volume(self) -> float:
+        """Total work ``sum_i V_i``."""
+        return float(self._volumes.sum())
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight ``sum_i w_i``."""
+        return float(self._weights.sum())
+
+    # ------------------------------------------------------------------ #
+    # Structural predicates used by the paper's special cases
+    # ------------------------------------------------------------------ #
+
+    def has_homogeneous_weights(self, rtol: float = DEFAULT_RTOL) -> bool:
+        """True when all weights are equal (the unweighted case of Table I)."""
+        if self.n <= 1:
+            return True
+        return bool(np.allclose(self._weights, self._weights[0], rtol=rtol, atol=0.0))
+
+    def has_homogeneous_volumes(self, rtol: float = DEFAULT_RTOL) -> bool:
+        """True when all volumes are equal (Section V-B instances)."""
+        if self.n <= 1:
+            return True
+        return bool(np.allclose(self._volumes, self._volumes[0], rtol=rtol, atol=0.0))
+
+    def has_large_deltas(self) -> bool:
+        """True when every ``delta_i > P / 2`` (hypothesis of Theorem 11)."""
+        return bool(np.all(self._deltas > self._P / 2))
+
+    def is_uniprocessor(self) -> bool:
+        """True when every ``delta_i <= 1`` (the ``delta_i = 1`` rows of Table I)."""
+        return bool(np.all(self._deltas <= 1.0))
+
+    # ------------------------------------------------------------------ #
+    # Derived instances
+    # ------------------------------------------------------------------ #
+
+    def subinstance(self, new_volumes: Sequence[float]) -> "Instance":
+        """The sub-instance ``I[V'_i]`` of Definition 7.
+
+        Tasks keep their weight and cap but their volume is replaced by
+        ``new_volumes[i]``.  Tasks whose new volume is (numerically) zero are
+        *dropped*: a zero-volume task completes at time 0 and contributes
+        nothing to any of the bounds in which sub-instances are used.
+        """
+        new_volumes = np.asarray(new_volumes, dtype=float)
+        if new_volumes.shape != (self.n,):
+            raise InvalidInstanceError(
+                f"expected {self.n} volumes, got shape {new_volumes.shape}"
+            )
+        if np.any(new_volumes < -DEFAULT_ATOL):
+            raise InvalidInstanceError("sub-instance volumes must be non-negative")
+        if np.any(new_volumes > self._volumes * (1 + DEFAULT_RTOL) + DEFAULT_ATOL):
+            raise InvalidInstanceError(
+                "sub-instance volumes must not exceed the original volumes"
+            )
+        tasks = [
+            t.with_volume(float(v))
+            for t, v in zip(self._tasks, new_volumes)
+            if v > DEFAULT_ATOL
+        ]
+        return Instance(P=self._P, tasks=tasks)
+
+    def reordered(self, order: Sequence[int]) -> "Instance":
+        """Return an instance whose task ``j`` is this instance's task ``order[j]``."""
+        order = list(order)
+        if sorted(order) != list(range(self.n)):
+            raise InvalidInstanceError(f"not a permutation of 0..{self.n - 1}: {order!r}")
+        return Instance(P=self._P, tasks=[self._tasks[i] for i in order])
+
+    def smith_order(self) -> list[int]:
+        """Task indices sorted by Smith's rule (non-decreasing ``V_i / w_i``).
+
+        This is the ordering that is optimal for the relaxation where every
+        ``delta_i = P`` (reference [15] of the paper) and the natural greedy
+        ordering suggested in the paper's conclusion.  Ties are broken by the
+        original index so the order is deterministic.
+        """
+        ratios = [t.smith_ratio for t in self._tasks]
+        return sorted(range(self.n), key=lambda i: (ratios[i], i))
+
+    def height_order(self) -> list[int]:
+        """Task indices sorted by non-decreasing height ``V_i / delta_i``."""
+        h = self.heights
+        return sorted(range(self.n), key=lambda i: (h[i], i))
+
+    def without_task(self, index: int) -> "Instance":
+        """Return the instance with task ``index`` removed."""
+        if not 0 <= index < self.n:
+            raise InvalidInstanceError(f"task index {index} out of range")
+        return Instance(
+            P=self._P, tasks=[t for i, t in enumerate(self._tasks) if i != index]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Equality / representation
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._P == other._P and self._tasks == other._tasks
+
+    def __hash__(self) -> int:
+        return hash((self._P, self._tasks))
+
+    def __repr__(self) -> str:
+        return f"Instance(P={self._P!r}, n={self.n})"
+
+    def describe(self) -> str:
+        """A multi-line human-readable description of the instance."""
+        lines = [f"Instance with P = {self._P} and {self.n} task(s):"]
+        for i, t in enumerate(self._tasks):
+            name = t.name or f"T{i + 1}"
+            lines.append(
+                f"  {name}: V = {t.volume:g}, w = {t.weight:g}, delta = {t.delta:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Objective functions on vectors of completion times.
+
+All functions accept completion times indexed *by task* (the same order as
+``instance.tasks``) so that they can be applied uniformly to the output of
+every algorithm and every schedule representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.instance import Instance
+
+__all__ = [
+    "weighted_completion_time",
+    "total_completion_time",
+    "makespan",
+    "max_lateness",
+    "weighted_throughput",
+    "weighted_flow_time",
+]
+
+
+def _check_completions(instance: Instance, completion_times: Sequence[float]) -> np.ndarray:
+    C = np.asarray(completion_times, dtype=float)
+    if C.shape != (instance.n,):
+        raise InvalidScheduleError(
+            f"expected {instance.n} completion times, got shape {C.shape}"
+        )
+    if np.any(C < 0):
+        raise InvalidScheduleError("completion times must be non-negative")
+    return C
+
+
+def weighted_completion_time(instance: Instance, completion_times: Sequence[float]) -> float:
+    """The paper's main objective ``sum_i w_i C_i``."""
+    C = _check_completions(instance, completion_times)
+    return float(np.dot(instance.weights, C))
+
+
+def total_completion_time(instance: Instance, completion_times: Sequence[float]) -> float:
+    """The unweighted objective ``sum_i C_i`` (rows of Table I with ``w_i = 1``)."""
+    C = _check_completions(instance, completion_times)
+    return float(C.sum())
+
+
+def makespan(instance: Instance, completion_times: Sequence[float]) -> float:
+    """``C_max = max_i C_i``, the classic makespan objective."""
+    C = _check_completions(instance, completion_times)
+    return float(C.max()) if C.size else 0.0
+
+
+def max_lateness(
+    instance: Instance,
+    completion_times: Sequence[float],
+    deadlines: Sequence[float],
+) -> float:
+    """Maximum lateness ``L_max = max_i (C_i - d_i)`` for given deadlines.
+
+    The paper notes (Section I) that the Water-Filling algorithm solves
+    ``P | var; V_i/q, delta_i | L_max`` in ``O(n log n)`` time when all
+    release dates are zero; :func:`repro.algorithms.lateness.minimize_max_lateness`
+    implements that solver and uses this function to evaluate candidates.
+    """
+    C = _check_completions(instance, completion_times)
+    d = np.asarray(deadlines, dtype=float)
+    if d.shape != C.shape:
+        raise InvalidScheduleError("deadlines must match the number of tasks")
+    if C.size == 0:
+        return 0.0
+    return float(np.max(C - d))
+
+
+def weighted_throughput(
+    instance: Instance, completion_times: Sequence[float], horizon: float
+) -> float:
+    """The bandwidth-sharing objective ``sum_i w_i (T - C_i)`` of Figure 1.
+
+    In the master–worker interpretation, worker ``i`` processes jobs at rate
+    ``w_i`` once it has received its code (at time ``C_i``), so the number of
+    jobs processed by the horizon ``T`` is ``w_i (T - C_i)``, clamped at zero
+    for workers that only finish receiving after the horizon.  Maximizing the
+    *unclamped* sum is exactly equivalent to minimizing ``sum w_i C_i``;
+    :func:`repro.bandwidth.transfer.throughput` exposes both variants.
+    """
+    C = _check_completions(instance, completion_times)
+    return float(np.dot(instance.weights, horizon - C))
+
+
+def weighted_flow_time(
+    instance: Instance,
+    completion_times: Sequence[float],
+    release_times: Sequence[float] | None = None,
+) -> float:
+    """Weighted flow time ``sum_i w_i (C_i - r_i)``.
+
+    With all release times zero (the setting of the paper) this coincides
+    with the weighted completion time; it is provided for the comparison
+    against the non-clairvoyant weighted-flow-time literature (reference
+    [14], Kim & Chwa).
+    """
+    C = _check_completions(instance, completion_times)
+    if release_times is None:
+        r = np.zeros_like(C)
+    else:
+        r = np.asarray(release_times, dtype=float)
+        if r.shape != C.shape:
+            raise InvalidScheduleError("release_times must match the number of tasks")
+    return float(np.dot(instance.weights, C - r))

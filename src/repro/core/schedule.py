@@ -1,0 +1,517 @@
+"""Schedule representations for malleable task scheduling.
+
+The paper works with three equivalent views of a schedule, all implemented
+here:
+
+``ContinuousSchedule``
+    The general formulation **MWCT** (Definition 1): a resource allocation
+    function ``d_i(t)`` giving the (possibly fractional) number of processors
+    used by task ``i`` at time ``t``.  We restrict ourselves to
+    piecewise-constant functions, which is without loss of generality for all
+    objectives based on completion times.
+
+``ColumnSchedule``
+    The column-based fractional formulation **MWCT-CB-F** (Definition 2): an
+    ordering ``pi`` of the tasks by completion time and a constant fractional
+    allocation ``d_{i,j}`` of task ``i`` inside *column* ``j`` — the time
+    interval between the ``(j-1)``-th and ``j``-th completions.
+
+``ProcessorAssignment``
+    A fully concrete schedule mapping each of ``P`` integer processors to a
+    sequence of task segments, as produced by the constructive proof of
+    Theorem 3.  This is the representation on which preemptions are counted
+    (Theorems 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.instance import DEFAULT_ATOL, DEFAULT_RTOL, Instance
+
+__all__ = [
+    "ColumnSchedule",
+    "ContinuousSchedule",
+    "ProcessorAssignment",
+    "ProcessorSegment",
+]
+
+
+def _as_float_array(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise InvalidScheduleError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+class ColumnSchedule:
+    """A schedule in the column-based fractional formulation (MWCT-CB-F).
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    order:
+        Permutation of task indices; ``order[j]`` is the task completing at
+        the end of column ``j`` (0-based).  Column ``j`` spans
+        ``(C_{j-1}, C_j]`` with ``C_{-1} = 0``.
+    completion_times:
+        Non-decreasing array of length ``n``; ``completion_times[j]`` is the
+        completion time of task ``order[j]``.
+    rates:
+        Array of shape ``(n, n)``; ``rates[i, j]`` is the constant fractional
+        number of processors allocated to task ``i`` during column ``j``.
+        Task ``i`` may only receive resources in columns up to and including
+        the one in which it completes.
+    """
+
+    __slots__ = ("instance", "order", "completion_times", "rates", "_position")
+
+    def __init__(
+        self,
+        instance: Instance,
+        order: Sequence[int],
+        completion_times: Sequence[float],
+        rates: np.ndarray,
+    ):
+        n = instance.n
+        order = tuple(int(i) for i in order)
+        if sorted(order) != list(range(n)):
+            raise InvalidScheduleError(f"order must be a permutation of 0..{n - 1}, got {order!r}")
+        C = _as_float_array(completion_times, "completion_times")
+        if C.shape != (n,):
+            raise InvalidScheduleError(
+                f"completion_times must have length {n}, got {C.shape[0]}"
+            )
+        if n and C[0] < -DEFAULT_ATOL:
+            raise InvalidScheduleError("completion times must be non-negative")
+        if np.any(np.diff(C) < -DEFAULT_ATOL):
+            raise InvalidScheduleError("completion_times must be non-decreasing")
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (n, n):
+            raise InvalidScheduleError(
+                f"rates must have shape ({n}, {n}), got {rates.shape}"
+            )
+        self.instance = instance
+        self.order = order
+        self.completion_times = np.maximum(C, 0.0)
+        self.completion_times.setflags(write=False)
+        self.rates = rates.copy()
+        self.rates.setflags(write=False)
+        self._position = {task: j for j, task in enumerate(order)}
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of tasks (and of columns)."""
+        return self.instance.n
+
+    @property
+    def column_lengths(self) -> np.ndarray:
+        """Durations ``l_j = C_j - C_{j-1}`` of every column."""
+        if self.n == 0:
+            return np.zeros(0)
+        return np.diff(np.concatenate(([0.0], self.completion_times)))
+
+    def column_bounds(self, j: int) -> tuple[float, float]:
+        """Start and end time of column ``j``."""
+        start = 0.0 if j == 0 else float(self.completion_times[j - 1])
+        return start, float(self.completion_times[j])
+
+    def position_of(self, task: int) -> int:
+        """Index of the column at whose end ``task`` completes."""
+        return self._position[task]
+
+    # ------------------------------------------------------------------ #
+    # Completion times & objectives
+    # ------------------------------------------------------------------ #
+
+    def completion_times_by_task(self) -> np.ndarray:
+        """Completion times indexed by *task index* (not by column)."""
+        out = np.zeros(self.n)
+        for j, task in enumerate(self.order):
+            out[task] = self.completion_times[j]
+        return out
+
+    def weighted_completion_time(self) -> float:
+        """The objective ``sum_i w_i C_i``."""
+        return float(np.dot(self.instance.weights, self.completion_times_by_task()))
+
+    def total_completion_time(self) -> float:
+        """The unweighted objective ``sum_i C_i``."""
+        return float(self.completion_times_by_task().sum())
+
+    def makespan(self) -> float:
+        """Latest completion time ``C_max``."""
+        if self.n == 0:
+            return 0.0
+        return float(self.completion_times[-1])
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def processed_volumes(self) -> np.ndarray:
+        """Work processed for each task, ``sum_j rates[i, j] * l_j``."""
+        return self.rates @ self.column_lengths
+
+    def column_loads(self) -> np.ndarray:
+        """Total processors in use in every column, ``sum_i rates[i, j]``."""
+        return self.rates.sum(axis=0)
+
+    def saturation_matrix(self, atol: float = 1e-9) -> np.ndarray:
+        """Boolean matrix; entry ``(i, j)`` is True when task ``i`` is *saturated*
+        in column ``j``, i.e. runs at its cap ``delta_i`` there (and the column
+        has positive length)."""
+        lengths = self.column_lengths
+        deltas = self.instance.deltas[:, None]
+        return (self.rates >= deltas - atol) & (lengths[None, :] > atol)
+
+    def allocation_change_count(
+        self, atol: float = 1e-9, convention: str = "paper"
+    ) -> int:
+        """Number of changes over time in the per-task allocated quantity.
+
+        Two conventions are supported:
+
+        ``"paper"`` (default)
+            The accounting of Lemma 5 / Theorem 9: only changes between two
+            *unsaturated* allocations (both strictly below the task's cap
+            ``delta_i``) are counted — the first time a task receives
+            resources, its completion, and the single transition into its
+            saturated phase are not.  For Water-Filling schedules this count
+            is at most ``n``.
+
+        ``"all"``
+            Every interior change of the allocation between consecutive
+            non-empty columns (still excluding the initial start and the
+            final completion).  This operational count can exceed ``n`` by
+            up to one extra change per task (the entry into saturation).
+        """
+        if convention not in ("paper", "all"):
+            raise InvalidScheduleError(f"unknown change-count convention {convention!r}")
+        lengths = self.column_lengths
+        active = lengths > atol
+        changes = 0
+        for i in range(self.n):
+            delta = float(self.instance.deltas[i])
+            rates = [float(self.rates[i, j]) for j in range(self.n) if active[j]]
+            nonzero = [r for r in rates if r > atol]
+            # Trailing/leading zero columns (before the task starts or after it
+            # completes) carry no changes; interior zero gaps do not occur in
+            # column schedules produced by this library's algorithms, and the
+            # nonzero-only view treats them as a single change, which is the
+            # conservative reading.
+            for prev, cur in zip(nonzero, nonzero[1:]):
+                if abs(cur - prev) <= atol:
+                    continue
+                if convention == "paper" and cur >= delta - atol:
+                    # Transition into the saturated phase: not counted by the
+                    # paper's accounting (the change budget of Lemma 5 covers
+                    # only the unsaturated span).
+                    continue
+                changes += 1
+        return changes
+
+    # ------------------------------------------------------------------ #
+    # Conversions (implemented in repro.core.conversion, re-exported here
+    # for discoverability)
+    # ------------------------------------------------------------------ #
+
+    def to_continuous(self) -> "ContinuousSchedule":
+        """Interpret the column schedule as a piecewise-constant continuous one."""
+        from repro.core.conversion import column_to_continuous
+
+        return column_to_continuous(self)
+
+    def to_processor_assignment(self) -> "ProcessorAssignment":
+        """Apply the constructive transformation of Theorem 3."""
+        from repro.core.conversion import column_to_processor_assignment
+
+        return column_to_processor_assignment(self)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnSchedule(n={self.n}, objective="
+            f"{self.weighted_completion_time():.6g}, makespan={self.makespan():.6g})"
+        )
+
+
+class ContinuousSchedule:
+    """A piecewise-constant resource allocation ``d_i(t)`` (formulation MWCT).
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    breakpoints:
+        Strictly increasing array ``t_0 < t_1 < ... < t_m`` with ``t_0 = 0``.
+        Interval ``k`` is ``(t_k, t_{k+1}]``.
+    rates:
+        Array of shape ``(n, m)``; ``rates[i, k]`` is the number of
+        processors used by task ``i`` throughout interval ``k``.
+    """
+
+    __slots__ = ("instance", "breakpoints", "rates")
+
+    def __init__(self, instance: Instance, breakpoints: Sequence[float], rates: np.ndarray):
+        bp = _as_float_array(breakpoints, "breakpoints")
+        if bp.size == 0 or abs(bp[0]) > DEFAULT_ATOL:
+            raise InvalidScheduleError("breakpoints must start at 0")
+        if np.any(np.diff(bp) <= 0):
+            raise InvalidScheduleError("breakpoints must be strictly increasing")
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (instance.n, bp.size - 1):
+            raise InvalidScheduleError(
+                f"rates must have shape ({instance.n}, {bp.size - 1}), got {rates.shape}"
+            )
+        self.instance = instance
+        self.breakpoints = bp
+        self.breakpoints.setflags(write=False)
+        self.rates = rates.copy()
+        self.rates.setflags(write=False)
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return self.instance.n
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of constant-allocation intervals."""
+        return self.breakpoints.size - 1
+
+    @property
+    def interval_lengths(self) -> np.ndarray:
+        """Durations of the constant-allocation intervals."""
+        return np.diff(self.breakpoints)
+
+    def processed_volumes(self) -> np.ndarray:
+        """Work processed for each task over the whole schedule."""
+        return self.rates @ self.interval_lengths
+
+    def completion_times(self, atol: float = 1e-12) -> np.ndarray:
+        """Completion time of every task: the end of its last active interval.
+
+        Tasks that never receive resources get completion time 0 (they must
+        then have zero remaining volume for the schedule to be valid, which
+        the model forbids — the validator flags it).
+        """
+        out = np.zeros(self.n)
+        active = self.rates > atol
+        for i in range(self.n):
+            idx = np.nonzero(active[i])[0]
+            if idx.size:
+                out[i] = self.breakpoints[idx[-1] + 1]
+        return out
+
+    def weighted_completion_time(self) -> float:
+        """The objective ``sum_i w_i C_i``."""
+        return float(np.dot(self.instance.weights, self.completion_times()))
+
+    def makespan(self) -> float:
+        """Latest completion time."""
+        ct = self.completion_times()
+        return float(ct.max()) if ct.size else 0.0
+
+    def rate_at(self, task: int, t: float) -> float:
+        """Allocation of ``task`` at time ``t`` (right-continuous convention)."""
+        if t < 0 or t >= self.breakpoints[-1]:
+            return 0.0
+        k = int(np.searchsorted(self.breakpoints, t, side="right")) - 1
+        k = max(0, min(k, self.num_intervals - 1))
+        return float(self.rates[task, k])
+
+    def to_column(self) -> ColumnSchedule:
+        """Average the allocation inside each column (Theorem 3, second half)."""
+        from repro.core.conversion import continuous_to_column
+
+        return continuous_to_column(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousSchedule(n={self.n}, intervals={self.num_intervals}, "
+            f"objective={self.weighted_completion_time():.6g})"
+        )
+
+
+@dataclass(frozen=True, order=True)
+class ProcessorSegment:
+    """A maximal time interval during which one processor runs one task."""
+
+    start: float
+    end: float
+    task: int
+
+    @property
+    def length(self) -> float:
+        """Duration of the segment."""
+        return self.end - self.start
+
+
+class ProcessorAssignment:
+    """A concrete schedule on an integer number of processors.
+
+    ``segments[p]`` is the chronologically sorted list of
+    :class:`ProcessorSegment` executed by processor ``p``.  Idle time is
+    implicit (gaps between segments).
+    """
+
+    __slots__ = ("instance", "num_processors", "segments")
+
+    def __init__(
+        self,
+        instance: Instance,
+        num_processors: int,
+        segments: Sequence[Sequence[ProcessorSegment]],
+    ):
+        if num_processors < 0:
+            raise InvalidScheduleError("num_processors must be non-negative")
+        if len(segments) != num_processors:
+            raise InvalidScheduleError(
+                f"expected {num_processors} per-processor segment lists, got {len(segments)}"
+            )
+        cleaned: list[tuple[ProcessorSegment, ...]] = []
+        for p, segs in enumerate(segments):
+            ordered = sorted(segs, key=lambda s: (s.start, s.end))
+            for s in ordered:
+                if s.end < s.start - DEFAULT_ATOL:
+                    raise InvalidScheduleError(f"segment with negative length on processor {p}: {s}")
+                if not (0 <= s.task < instance.n):
+                    raise InvalidScheduleError(f"segment references unknown task {s.task}")
+            cleaned.append(tuple(s for s in ordered if s.length > DEFAULT_ATOL))
+        self.instance = instance
+        self.num_processors = int(num_processors)
+        self.segments = tuple(cleaned)
+
+    # ------------------------------------------------------------------ #
+    # Per-task views
+    # ------------------------------------------------------------------ #
+
+    def task_segments(self, task: int) -> list[tuple[int, ProcessorSegment]]:
+        """All segments of ``task`` as ``(processor, segment)`` pairs, by start time."""
+        out = [
+            (p, s)
+            for p, segs in enumerate(self.segments)
+            for s in segs
+            if s.task == task
+        ]
+        out.sort(key=lambda ps: (ps[1].start, ps[1].end, ps[0]))
+        return out
+
+    def completion_times(self) -> np.ndarray:
+        """Completion time of every task (latest segment end; 0 if never run)."""
+        out = np.zeros(self.instance.n)
+        for segs in self.segments:
+            for s in segs:
+                out[s.task] = max(out[s.task], s.end)
+        return out
+
+    def processed_volumes(self) -> np.ndarray:
+        """Total processing received by each task (sum of its segment lengths)."""
+        out = np.zeros(self.instance.n)
+        for segs in self.segments:
+            for s in segs:
+                out[s.task] += s.length
+        return out
+
+    def weighted_completion_time(self) -> float:
+        """The objective ``sum_i w_i C_i``."""
+        return float(np.dot(self.instance.weights, self.completion_times()))
+
+    def makespan(self) -> float:
+        """Latest segment end over all processors."""
+        ends = [s.end for segs in self.segments for s in segs]
+        return max(ends) if ends else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Preemption accounting (Theorems 9 and 10)
+    # ------------------------------------------------------------------ #
+
+    def count_preemptions(self, atol: float = 1e-9) -> int:
+        """Count preemptions in the operational sense used by the paper.
+
+        A preemption is counted every time a processor stops working on a
+        task strictly before that task's completion time — i.e. the task is
+        interrupted on that processor and must resume later (possibly
+        elsewhere).  Contiguous segments of the same task on the same
+        processor are merged before counting, so a processor that keeps its
+        task across column boundaries contributes nothing.
+
+        Theorem 10 shows that Water-Filling schedules admit an assignment
+        with at most ``3n`` preemptions.
+        """
+        completion = self.completion_times()
+        preemptions = 0
+        for segs in self.segments:
+            merged = _merge_contiguous(segs, atol)
+            for s in merged:
+                if s.end < completion[s.task] - atol:
+                    preemptions += 1
+        return preemptions
+
+    def count_migrations(self, atol: float = 1e-9) -> int:
+        """Count the number of times a task resumes on a processor it was not
+        already running on (a stricter notion than preemption)."""
+        migrations = 0
+        for task in range(self.instance.n):
+            pairs = self.task_segments(task)
+            merged_per_proc: dict[int, list[ProcessorSegment]] = {}
+            for p, s in pairs:
+                merged_per_proc.setdefault(p, []).append(s)
+            starts = 0
+            for p, segs in merged_per_proc.items():
+                starts += len(_merge_contiguous(segs, atol))
+            if starts:
+                migrations += starts - len(merged_per_proc)
+        return migrations
+
+    def max_simultaneous_processors(self, task: int) -> int:
+        """Largest number of processors simultaneously running ``task``."""
+        events: list[tuple[float, int]] = []
+        for segs in self.segments:
+            for s in segs:
+                if s.task == task:
+                    events.append((s.start, +1))
+                    events.append((s.end, -1))
+        events.sort(key=lambda e: (e[0], e[1]))
+        best = cur = 0
+        for _, d in events:
+            cur += d
+            best = max(best, cur)
+        return best
+
+    def __repr__(self) -> str:
+        nseg = sum(len(s) for s in self.segments)
+        return (
+            f"ProcessorAssignment(P={self.num_processors}, segments={nseg}, "
+            f"preemptions={self.count_preemptions()})"
+        )
+
+
+def _merge_contiguous(
+    segments: Sequence[ProcessorSegment], atol: float
+) -> list[ProcessorSegment]:
+    """Merge back-to-back segments of the same task on one processor."""
+    merged: list[ProcessorSegment] = []
+    for s in sorted(segments, key=lambda x: (x.start, x.end)):
+        if (
+            merged
+            and merged[-1].task == s.task
+            and abs(merged[-1].end - s.start) <= atol
+        ):
+            merged[-1] = ProcessorSegment(merged[-1].start, s.end, s.task)
+        else:
+            merged.append(s)
+    return merged

@@ -1,0 +1,192 @@
+"""Validity checkers for every schedule representation.
+
+Each ``check_*`` function returns a (possibly empty) list of human-readable
+violation messages; the corresponding ``validate_*`` function raises
+:class:`~repro.core.exceptions.InfeasibleScheduleError` when the list is not
+empty.  The checks mirror the constraints of Definitions 1 and 2 of the
+paper:
+
+* a task never uses more than ``delta_i`` processors,
+* the platform never uses more than ``P`` processors,
+* every task receives exactly its volume ``V_i``,
+* a task receives no resources after its completion time (column schedules:
+  no resources in columns after the one in which it completes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import InfeasibleScheduleError
+from repro.core.schedule import ColumnSchedule, ContinuousSchedule, ProcessorAssignment
+
+__all__ = [
+    "check_column_schedule",
+    "validate_column_schedule",
+    "check_continuous_schedule",
+    "validate_continuous_schedule",
+    "check_processor_assignment",
+    "validate_processor_assignment",
+]
+
+#: Default tolerances.  Schedules come out of LP solvers and long chains of
+#: floating point updates; the validators are deliberately forgiving at the
+#: 1e-6 absolute / relative level (instances in the paper's experiments have
+#: all parameters of order 1).
+DEFAULT_TOL = 1e-6
+
+
+def check_column_schedule(schedule: ColumnSchedule, tol: float = DEFAULT_TOL) -> list[str]:
+    """Check a column-based fractional schedule against Definition 2."""
+    inst = schedule.instance
+    violations: list[str] = []
+    n = schedule.n
+    if n == 0:
+        return violations
+    lengths = schedule.column_lengths
+    scale = max(1.0, float(inst.P), float(np.max(inst.volumes)) if n else 1.0)
+
+    if np.any(schedule.rates < -tol):
+        violations.append("negative allocation rate found")
+
+    # Per-task cap delta_i in every column of positive length.
+    cap_excess = schedule.rates - inst.deltas[:, None]
+    mask = (lengths[None, :] > tol) & (cap_excess > tol * scale)
+    for i, j in zip(*np.nonzero(mask)):
+        violations.append(
+            f"task {i} uses {schedule.rates[i, j]:.6g} > delta={inst.deltas[i]:.6g} "
+            f"processors in column {j}"
+        )
+
+    # Platform capacity in every column of positive length.
+    loads = schedule.column_loads()
+    over = (lengths > tol) & (loads > inst.P + tol * scale)
+    for j in np.nonzero(over)[0]:
+        violations.append(
+            f"column {j} uses {loads[j]:.6g} > P={inst.P:.6g} processors"
+        )
+
+    # Volume conservation.
+    processed = schedule.processed_volumes()
+    for i in range(n):
+        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+            violations.append(
+                f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
+            )
+
+    # No allocation after completion.
+    for i in range(n):
+        pos = schedule.position_of(i)
+        late = schedule.rates[i, pos + 1 :]
+        late_lengths = lengths[pos + 1 :]
+        if np.any((late > tol) & (late_lengths > tol)):
+            violations.append(f"task {i} receives resources after its completion column")
+
+    return violations
+
+
+def validate_column_schedule(schedule: ColumnSchedule, tol: float = DEFAULT_TOL) -> None:
+    """Raise :class:`InfeasibleScheduleError` if the column schedule is invalid."""
+    violations = check_column_schedule(schedule, tol)
+    if violations:
+        raise InfeasibleScheduleError(
+            "invalid column schedule:\n  " + "\n  ".join(violations)
+        )
+
+
+def check_continuous_schedule(
+    schedule: ContinuousSchedule, tol: float = DEFAULT_TOL
+) -> list[str]:
+    """Check a piecewise-constant continuous schedule against Definition 1."""
+    inst = schedule.instance
+    violations: list[str] = []
+    if inst.n == 0:
+        return violations
+    scale = max(1.0, float(inst.P), float(np.max(inst.volumes)))
+
+    if np.any(schedule.rates < -tol):
+        violations.append("negative allocation rate found")
+
+    cap_excess = schedule.rates - inst.deltas[:, None]
+    if np.any(cap_excess > tol * scale):
+        i, k = np.unravel_index(int(np.argmax(cap_excess)), cap_excess.shape)
+        violations.append(
+            f"task {i} exceeds its cap in interval {k}: "
+            f"{schedule.rates[i, k]:.6g} > {inst.deltas[i]:.6g}"
+        )
+
+    loads = schedule.rates.sum(axis=0)
+    if np.any(loads > inst.P + tol * scale):
+        k = int(np.argmax(loads))
+        violations.append(
+            f"interval {k} uses {loads[k]:.6g} > P={inst.P:.6g} processors"
+        )
+
+    processed = schedule.processed_volumes()
+    for i in range(inst.n):
+        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+            violations.append(
+                f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
+            )
+    return violations
+
+
+def validate_continuous_schedule(
+    schedule: ContinuousSchedule, tol: float = DEFAULT_TOL
+) -> None:
+    """Raise :class:`InfeasibleScheduleError` if the continuous schedule is invalid."""
+    violations = check_continuous_schedule(schedule, tol)
+    if violations:
+        raise InfeasibleScheduleError(
+            "invalid continuous schedule:\n  " + "\n  ".join(violations)
+        )
+
+
+def check_processor_assignment(
+    assignment: ProcessorAssignment, tol: float = DEFAULT_TOL
+) -> list[str]:
+    """Check a concrete per-processor schedule.
+
+    Verifies that segments on one processor do not overlap, that each task
+    receives its full volume, and that no task ever runs on more than
+    ``ceil(delta_i)`` processors simultaneously (the integer counterpart of
+    the fractional cap, as guaranteed by Theorem 3 when ``delta_i`` is an
+    integer).
+    """
+    inst = assignment.instance
+    violations: list[str] = []
+    scale = max(1.0, float(inst.P), float(np.max(inst.volumes)) if inst.n else 1.0)
+
+    for p, segs in enumerate(assignment.segments):
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - tol:
+                violations.append(
+                    f"processor {p}: segments overlap ({a} and {b})"
+                )
+
+    processed = assignment.processed_volumes()
+    for i in range(inst.n):
+        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+            violations.append(
+                f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
+            )
+
+    for i in range(inst.n):
+        cap = int(np.ceil(inst.deltas[i] - tol))
+        used = assignment.max_simultaneous_processors(i)
+        if used > cap:
+            violations.append(
+                f"task {i} runs on {used} simultaneous processors, cap is {cap}"
+            )
+    return violations
+
+
+def validate_processor_assignment(
+    assignment: ProcessorAssignment, tol: float = DEFAULT_TOL
+) -> None:
+    """Raise :class:`InfeasibleScheduleError` if the assignment is invalid."""
+    violations = check_processor_assignment(assignment, tol)
+    if violations:
+        raise InfeasibleScheduleError(
+            "invalid processor assignment:\n  " + "\n  ".join(violations)
+        )

@@ -1,0 +1,95 @@
+"""Experiment E8 — the bandwidth-sharing scenario of Figure 1.
+
+A server with bounded outgoing bandwidth distributes codes to workers; each
+worker starts processing jobs at its own rate once its code has arrived, and
+the goal is to maximise the number of jobs processed by a horizon ``T``.  The
+paper observes that this is exactly the weighted-completion-time problem.
+The experiment compares the throughput achieved by
+
+* sequential transfers (no sharing),
+* unweighted fair sharing (DEQ),
+* the paper's WDEQ (weights = processing rates),
+* a clairvoyant greedy schedule seeded with Smith's ordering,
+
+and reports both the throughput (jobs processed by ``T``) and the scheduling
+objective ``sum w_i C_i``.  The expected shape: WDEQ and greedy dominate the
+naive strategies, with greedy (clairvoyant) the best of all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bandwidth.network import BandwidthScenario
+from repro.bandwidth.transfer import plan_transfers
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    worker_counts: Sequence[int] = (5, 10, 20),
+    count: int = 10,
+    seed: int = 0,
+    horizon_slack: float = 2.0,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Compare transfer strategies on random master-worker scenarios."""
+    if paper_scale:
+        count = 100
+    rows: list[list[object]] = []
+    wdeq_beats_naive = True
+    greedy_best = True
+    for n in worker_counts:
+        rng = np.random.default_rng(seed)
+        throughput_by_strategy: dict[str, list[float]] = {}
+        objective_by_strategy: dict[str, list[float]] = {}
+        for _ in range(count):
+            scenario = BandwidthScenario.random(
+                n, horizon_slack=horizon_slack, rng=rng
+            )
+            for plan in plan_transfers(scenario):
+                throughput_by_strategy.setdefault(plan.strategy, []).append(
+                    plan.throughput(scenario)
+                )
+                objective_by_strategy.setdefault(plan.strategy, []).append(
+                    plan.weighted_completion_time(scenario)
+                )
+        means = {name: float(np.mean(v)) for name, v in throughput_by_strategy.items()}
+        obj_means = {name: float(np.mean(v)) for name, v in objective_by_strategy.items()}
+        naive_best = max(means.get("sequential", 0.0), means.get("fair share (DEQ)", 0.0))
+        wdeq_beats_naive = wdeq_beats_naive and means.get("WDEQ", 0.0) >= naive_best - 1e-9
+        greedy_best = greedy_best and means.get(
+            "greedy (Smith + local search)", 0.0
+        ) >= means.get("WDEQ", 0.0) - 1e-6 * max(means.get("WDEQ", 1.0), 1.0)
+        for name in sorted(means):
+            rows.append(
+                [
+                    n,
+                    name,
+                    f"{means[name]:.1f}",
+                    f"{obj_means[name]:.1f}",
+                    f"{means[name] / naive_best:.3f}" if naive_best > 0 else "-",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Bandwidth sharing on the master-worker platform (Figure 1)",
+        paper_claim=(
+            "Maximising the jobs processed by the horizon is equivalent to minimising the "
+            "weighted sum of code-arrival times, so malleable-task algorithms apply directly "
+            "to simultaneous file transfers."
+        ),
+        headers=["workers", "strategy", "mean throughput (jobs by T)", "mean sum w_i C_i", "throughput vs best naive"],
+        rows=rows,
+        summary={
+            "WDEQ >= best naive strategy on average": wdeq_beats_naive,
+            "clairvoyant greedy >= WDEQ on average": greedy_best,
+        },
+        notes=[
+            "Throughput counts w_i * max(0, T - C_i); the unclamped version is the exact "
+            "linear equivalence used in the paper's Section I argument.",
+        ],
+    )

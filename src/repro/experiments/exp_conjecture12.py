@@ -1,0 +1,91 @@
+"""Experiment E1 — the Conjecture 12 experiments of Section V-A.
+
+The paper generated 10,000 uniform random instances for each size
+``n = 2..5`` (plus constant-weight and constant-weight-and-volume variants)
+and found the best greedy schedule numerically indistinguishable from the
+optimum on every one of them.  This experiment repeats the comparison: for
+every instance, the best greedy value (exhaustive over orderings) is compared
+with the exact optimum (Corollary 1 LP, minimised over orderings).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.conjectures import check_conjecture12
+from repro.experiments.base import ExperimentResult
+from repro.workloads import generators
+
+__all__ = ["run"]
+
+#: Instance families used by the paper, in the order they are reported.
+FAMILIES = {
+    "uniform": generators.uniform_instances,
+    "constant weight": generators.constant_weight_instances,
+    "constant weight+volume": generators.constant_weight_volume_instances,
+}
+
+
+def run(
+    sizes: Sequence[int] = (2, 3, 4, 5),
+    count: int = 30,
+    families: Sequence[str] = ("uniform", "constant weight", "constant weight+volume"),
+    seed: int = 0,
+    backend: str = "scipy",
+    tolerance: float = 1e-6,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Run the Conjecture 12 comparison.
+
+    ``paper_scale=True`` raises the per-size instance count to the paper's
+    10,000 (expect hours of compute for ``n = 5``); the default keeps the
+    run to a couple of minutes while exercising every family and size.
+    """
+    if paper_scale:
+        count = 10_000
+    rows: list[list[object]] = []
+    worst_gap = 0.0
+    all_hold = True
+    for family in families:
+        factory = FAMILIES[family]
+        for n in sizes:
+            rng = np.random.default_rng(seed)
+            gaps = []
+            holds = 0
+            for instance in factory(n, count, rng=rng):
+                check = check_conjecture12(instance, tolerance=tolerance, backend=backend)
+                gaps.append(check.relative_gap)
+                holds += int(check.holds)
+            gaps_arr = np.array(gaps)
+            worst_gap = max(worst_gap, float(gaps_arr.max(initial=0.0)))
+            all_hold = all_hold and holds == len(gaps)
+            rows.append(
+                [
+                    family,
+                    n,
+                    len(gaps),
+                    f"{gaps_arr.mean():.2e}",
+                    f"{gaps_arr.max(initial=0.0):.2e}",
+                    f"{holds}/{len(gaps)}",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Best greedy vs optimal (Conjecture 12)",
+        paper_claim=(
+            "On 10,000 random instances per size (n = 2..5), the best greedy schedule "
+            "was numerically indistinguishable from the optimal schedule."
+        ),
+        headers=["family", "n", "instances", "mean gap", "max gap", "greedy optimal"],
+        rows=rows,
+        summary={
+            "max relative gap": f"{worst_gap:.2e}",
+            "conjecture holds on every instance": all_hold,
+        },
+        notes=[
+            "gap = (best greedy - optimal) / optimal; optimal obtained by enumerating all "
+            "completion orderings and solving the Corollary 1 LP for each.",
+        ],
+    )

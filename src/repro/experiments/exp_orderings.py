@@ -1,0 +1,115 @@
+"""Experiment E3 — structure of optimal orders on Section V-B instances.
+
+The paper reports, for the homogeneous family sorted by non-increasing cap:
+
+* ``n = 2``: orders 1,2 and 2,1 are optimal;
+* ``n = 3``: orders 1,3,2 and 2,3,1 are optimal;
+* ``n = 4``: orders 1,3,2,4 and 4,2,3,1 are optimal;
+* ``n = 5``: any optimal order ``i,j,k,l,m`` satisfies
+  ``(delta_l - delta_j)(delta_i - delta_m) <= 0``.
+
+This experiment verifies those statements on random instances by exhaustive
+enumeration of the greedy values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.orderings import five_task_condition_holds, optimal_order_structure
+from repro.experiments.base import ExperimentResult
+from repro.workloads.generators import homogeneous_halfdelta_deltas
+
+__all__ = ["run"]
+
+
+def run(
+    sizes: Sequence[int] = (2, 3, 4),
+    count: int = 60,
+    five_task_count: int = 40,
+    seed: int = 0,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Verify the published optimal orders (n <= 4) and the 5-task condition."""
+    if paper_scale:
+        count = 1_000
+        five_task_count = 500
+    rows: list[list[object]] = []
+    paper_holds_small = True  # paper's printed orders for n <= 3
+    measured_holds = True  # this reproduction's closed-form orders for n <= 4
+    paper_n4_fraction = "n/a"
+    for n in sizes:
+        rng = np.random.default_rng(seed)
+        paper_ok = 0
+        measured_ok = 0
+        instances = 0
+        for deltas in homogeneous_halfdelta_deltas(n, count, rng=rng):
+            structure = optimal_order_structure(deltas)
+            paper_ok += int(structure.predictions_optimal)
+            measured_ok += int(structure.measured_pattern_optimal)
+            instances += 1
+        if n <= 3:
+            paper_holds_small = paper_holds_small and paper_ok == instances
+        else:
+            paper_n4_fraction = f"{paper_ok}/{instances}"
+        measured_holds = measured_holds and measured_ok == instances
+        rows.append(
+            [
+                f"n={n} paper's printed orders optimal",
+                f"{paper_ok}/{instances}",
+            ]
+        )
+        rows.append(
+            [
+                f"n={n} measured closed-form orders optimal (1,3,...,2 pattern)",
+                f"{measured_ok}/{instances}",
+            ]
+        )
+
+    # The 5-task necessary condition.
+    rng = np.random.default_rng(seed + 5)
+    condition_ok = 0
+    optimal_orders_checked = 0
+    instances5 = 0
+    for deltas in homogeneous_halfdelta_deltas(5, five_task_count, rng=rng):
+        structure = optimal_order_structure(deltas)
+        instances5 += 1
+        for order in structure.optimal_orders:
+            optimal_orders_checked += 1
+            condition_ok += int(
+                five_task_condition_holds(structure.deltas_sorted, order)
+            )
+    rows.append(
+        [
+            "n=5 optimal orders satisfying (d_l-d_j)(d_i-d_m) <= 0",
+            f"{condition_ok}/{optimal_orders_checked} (over {instances5} instances)",
+        ]
+    )
+    condition_holds = condition_ok == optimal_orders_checked
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Optimal greedy orders on homogeneous instances (Section V-B)",
+        paper_claim=(
+            "For n <= 4 the optimal orders are 1,2 / 1,3,2 / 1,3,2,4 (and their reversals); "
+            "for n = 5 optimal orders satisfy (delta_l - delta_j)(delta_i - delta_m) <= 0."
+        ),
+        headers=["check", "result"],
+        rows=rows,
+        summary={
+            "paper's n<=3 orders always optimal": paper_holds_small,
+            "paper's printed n=4 order (1,3,2,4) optimal": paper_n4_fraction,
+            "measured n<=4 pattern (1,3,2 / 1,3,4,2) always optimal": measured_holds,
+            "5-task necessary condition always satisfied": condition_holds,
+        },
+        notes=[
+            "Tasks are relabelled so that delta_1 >= delta_2 >= ... before comparing with the "
+            "paper's published orders.",
+            "Deviation: exhaustive exact computation (cross-checked against the Corollary 1 LP "
+            "optimum) shows the optimal 4-task pair is 1,3,4,2 and its reverse 2,4,3,1, not the "
+            "1,3,2,4 / 4,2,3,1 printed in the paper; the printed pair appears to be a typo since "
+            "the measured pair preserves both the reversal symmetry of Conjecture 13 and the "
+            "'small caps in the middle' structure of the 3-task case.",
+        ],
+    )

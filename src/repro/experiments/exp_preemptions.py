@@ -1,0 +1,89 @@
+"""Experiment E6 — preemption counts of Water-Filling schedules (Theorems 9-10).
+
+For every instance the completion times of the WDEQ schedule are fed to the
+Water-Filling normalisation; the resulting schedule is converted to a
+concrete per-processor assignment with the sticky policy of Lemma 10, and
+the counts are compared to the paper's bounds: at most ``n`` changes of the
+fractional allocation and at most ``3n`` preemptions of the integer
+schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.analysis.preemptions import preemption_report
+from repro.experiments.base import ExperimentResult
+from repro.workloads.generators import cluster_instances
+
+__all__ = ["run"]
+
+
+def run(
+    sizes: Sequence[int] = (5, 10, 20, 50, 100),
+    count: int = 10,
+    seed: int = 0,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Measure preemption counts against the n and 3n bounds."""
+    if paper_scale:
+        count = 100
+    rows: list[list[object]] = []
+    all_within = True
+    for n in sizes:
+        rng = np.random.default_rng(seed)
+        frac_ratios = []
+        frac_raw_ratios = []
+        preempt_per_task = []
+        within = 0
+        total = 0
+        for instance in cluster_instances(n, count, rng=rng):
+            completion_times = wdeq_schedule(instance).completion_times_by_task()
+            report = preemption_report(instance, completion_times)
+            frac_ratios.append(report.fractional_changes / max(report.fractional_bound, 1))
+            frac_raw_ratios.append(report.fractional_changes_raw / max(report.fractional_bound, 1))
+            preempt_per_task.append(report.preemptions / max(report.n, 1))
+            within += int(report.within_bounds)
+            total += 1
+        all_within = all_within and within == total
+        rows.append(
+            [
+                n,
+                total,
+                f"{np.max(frac_ratios):.3f}",
+                f"{np.max(frac_raw_ratios):.3f}",
+                f"{np.mean(preempt_per_task):.2f}",
+                f"{within}/{total}",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Preemptions of Water-Filling schedules (Theorems 9 and 10)",
+        paper_claim=(
+            "WF schedules have at most n changes of the fractional allocation (Theorem 9) and "
+            "admit an integer processor assignment with at most 3n preemptions (Theorem 10)."
+        ),
+        headers=[
+            "n",
+            "instances",
+            "max fractional changes / n (paper accounting)",
+            "max fractional changes / n (all changes)",
+            "mean preemptions per task (our integer conversion)",
+            "within proven bounds",
+        ],
+        rows=rows,
+        summary={"fractional change bound (Theorem 9) respected on every instance": all_within},
+        notes=[
+            "Completion times are taken from the WDEQ schedule; Theorem 8 guarantees WF can "
+            "realise them, and the bounds hold for the WF normal form regardless of where the "
+            "completion times came from.",
+            "The integer preemption counts use this library's per-column-exact conversion, which "
+            "is simpler than the optimised construction behind Theorem 10 and therefore yields "
+            "more than 3 preemptions per task on column-rich instances; the fractional bound, "
+            "which drives the normal-form search-space reduction, is reproduced exactly "
+            "(see DESIGN.md, 'Deviations').",
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Experiment E5 — empirical approximation ratio of WDEQ (Theorem 4).
+
+Theorem 4 proves that WDEQ is a 2-approximation for the weighted sum of
+completion times.  The experiment measures the achieved ratio
+
+* against the exact optimum on small instances (``n <= 5``), and
+* against the combined lower bound of Lemma 1 on larger instances,
+
+and compares WDEQ to the baselines it generalises (DEQ, the cap-less
+weighted fair share) and to the clairvoyant Smith-priority policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.ratios import policy_ratios, wdeq_ratio
+from repro.analysis.stats import summarize
+from repro.experiments.base import ExperimentResult
+from repro.workloads.generators import cluster_instances, uniform_instances
+
+__all__ = ["run"]
+
+
+def run(
+    small_sizes: Sequence[int] = (2, 3, 4, 5),
+    small_count: int = 20,
+    large_sizes: Sequence[int] = (10, 25, 50),
+    large_count: int = 10,
+    seed: int = 0,
+    paper_scale: bool = False,
+) -> ExperimentResult:
+    """Measure WDEQ's ratio and compare online policies."""
+    if paper_scale:
+        small_count = 500
+        large_count = 100
+    rows: list[list[object]] = []
+    max_ratio_exact = 0.0
+    for n in small_sizes:
+        rng = np.random.default_rng(seed)
+        ratios = [
+            wdeq_ratio(inst, exact=True) for inst in uniform_instances(n, small_count, rng=rng)
+        ]
+        stats = summarize(ratios)
+        max_ratio_exact = max(max_ratio_exact, stats.maximum)
+        rows.append(
+            ["WDEQ / OPT (exact)", n, stats.count, f"{stats.mean:.3f}", f"{stats.maximum:.3f}"]
+        )
+    max_ratio_bound = 0.0
+    policy_means: dict[str, list[float]] = {}
+    for n in large_sizes:
+        rng = np.random.default_rng(seed)
+        ratios = []
+        for inst in cluster_instances(n, large_count, rng=rng):
+            per_policy = policy_ratios(inst, exact=False)
+            ratios.append(per_policy["WDEQ"])
+            for name, value in per_policy.items():
+                policy_means.setdefault(name, []).append(value)
+        stats = summarize(ratios)
+        max_ratio_bound = max(max_ratio_bound, stats.maximum)
+        rows.append(
+            [
+                "WDEQ / lower bound",
+                n,
+                stats.count,
+                f"{stats.mean:.3f}",
+                f"{stats.maximum:.3f}",
+            ]
+        )
+    for name, values in sorted(policy_means.items()):
+        stats = summarize(values)
+        rows.append(
+            [f"{name} / lower bound (all large n)", "-", stats.count, f"{stats.mean:.3f}", f"{stats.maximum:.3f}"]
+        )
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Empirical approximation ratio of WDEQ (Theorem 4)",
+        paper_claim="WDEQ is a 2-approximation for the weighted sum of completion times.",
+        headers=["ratio", "n", "instances", "mean", "max"],
+        rows=rows,
+        summary={
+            "max WDEQ/OPT on small instances": f"{max_ratio_exact:.3f}",
+            "max WDEQ/lower bound on large instances": f"{max_ratio_bound:.3f}",
+            "always below 2": bool(max_ratio_exact <= 2.0 + 1e-9),
+        },
+        notes=[
+            "The lower-bound denominator (Lemma 1 mixed bound) is itself below OPT, so the "
+            "large-instance ratios over-estimate the true ratio; values below 2 are therefore "
+            "conservative evidence for the theorem.",
+        ],
+    )

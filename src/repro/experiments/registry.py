@@ -1,0 +1,108 @@
+"""Registry mapping experiment ids (DESIGN.md) to their run functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    exp_bandwidth,
+    exp_conjecture12,
+    exp_conjecture13,
+    exp_normal_form,
+    exp_orderings,
+    exp_preemptions,
+    exp_scaling,
+    exp_theorem11,
+    exp_wdeq_ratio,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata and entry point of one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    run: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "E1",
+            "Best greedy vs optimal (Conjecture 12)",
+            "Section V-A experiments (10,000 instances per size)",
+            exp_conjecture12.run,
+        ),
+        ExperimentSpec(
+            "E2",
+            "Order-reversal symmetry (Conjecture 13)",
+            "Section V-B, checked up to 15 tasks",
+            exp_conjecture13.run,
+        ),
+        ExperimentSpec(
+            "E3",
+            "Optimal order structure on homogeneous instances",
+            "Section V-B optimal orders for n <= 5",
+            exp_orderings.run,
+        ),
+        ExperimentSpec(
+            "E4",
+            "Greedy optimality for delta > P/2 (Theorem 11)",
+            "Theorem 11 and Lemmas 7-8",
+            exp_theorem11.run,
+        ),
+        ExperimentSpec(
+            "E5",
+            "Empirical approximation ratio of WDEQ",
+            "Theorem 4 (2-approximation)",
+            exp_wdeq_ratio.run,
+        ),
+        ExperimentSpec(
+            "E6",
+            "Preemption counts of WF schedules",
+            "Theorems 9 and 10 (n and 3n bounds)",
+            exp_preemptions.run,
+        ),
+        ExperimentSpec(
+            "E7",
+            "Table I coverage and runtime scaling",
+            "Table I and the complexity discussion of Section I",
+            exp_scaling.run,
+        ),
+        ExperimentSpec(
+            "E8",
+            "Bandwidth-sharing master-worker scenario",
+            "Figure 1 and the Section I equivalence",
+            exp_bandwidth.run,
+        ),
+        ExperimentSpec(
+            "E9",
+            "Normal form correctness round-trip",
+            "Theorems 3 and 8",
+            exp_normal_form.run,
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    try:
+        return EXPERIMENTS[key]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from exc
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run an experiment by id with the given keyword overrides."""
+    return get_experiment(experiment_id).run(**kwargs)

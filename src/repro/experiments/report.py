@@ -1,0 +1,55 @@
+"""Assemble experiment results into a Markdown report (EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+
+__all__ = ["run_all", "render_markdown_report"]
+
+
+def run_all(
+    experiment_ids: Sequence[str] | None = None,
+    paper_scale: bool = False,
+    **kwargs,
+) -> list[ExperimentResult]:
+    """Run every (or the selected) experiment and collect the results.
+
+    Keyword arguments are forwarded to every experiment that accepts them
+    (they all accept ``seed`` and ``paper_scale``).
+    """
+    ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
+    results = []
+    for experiment_id in ids:
+        spec = EXPERIMENTS[experiment_id.upper()]
+        results.append(spec.run(paper_scale=paper_scale, **kwargs))
+    return results
+
+
+def render_markdown_report(
+    results: Iterable[ExperimentResult], title: str = "Experiment results"
+) -> str:
+    """Render a full Markdown report from a collection of results."""
+    results = list(results)
+    lines = [
+        f"# {title}",
+        "",
+        "Reproduction of *Minimizing Weighted Mean Completion Time for Malleable Tasks "
+        "Scheduling* (Beaumont, Bonichon, Eyraud-Dubois, Marchal — IPDPS 2012).",
+        "",
+        f"Generated on {datetime.date.today().isoformat()} by `repro.experiments.report`.",
+        "",
+        "| Experiment | Paper artifact | Headline result |",
+        "|---|---|---|",
+    ]
+    for result in results:
+        headline = "; ".join(f"{k}: {v}" for k, v in list(result.summary.items())[:2])
+        lines.append(f"| {result.experiment_id} | {result.title} | {headline} |")
+    lines.append("")
+    for result in results:
+        lines.append(result.to_markdown())
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Linear-programming layer.
+
+Corollary 1 of the paper states that once the *ordering* of completion times
+is fixed, the optimal malleable schedule is the solution of a linear program.
+This subpackage provides
+
+* :mod:`repro.lp.formulation` — construction of that LP in matrix form,
+* :mod:`repro.lp.scipy_backend` — a solver backend based on
+  :func:`scipy.optimize.linprog` (HiGHS),
+* :mod:`repro.lp.simplex` — a self-contained dense two-phase simplex solver
+  used as a fallback and as an independent cross-check,
+* :mod:`repro.lp.interface` — the user-facing
+  :func:`~repro.lp.interface.solve_ordered_relaxation` returning a
+  :class:`~repro.core.schedule.ColumnSchedule`.
+"""
+
+from repro.lp.formulation import OrderedLP, build_ordered_lp
+from repro.lp.interface import OrderedLPSolution, solve_ordered_relaxation
+from repro.lp.simplex import LinearProgramResult, solve_linear_program
+
+__all__ = [
+    "OrderedLP",
+    "build_ordered_lp",
+    "OrderedLPSolution",
+    "solve_ordered_relaxation",
+    "LinearProgramResult",
+    "solve_linear_program",
+]

@@ -1,0 +1,182 @@
+"""Matrix formulation of the fixed-ordering LP of Corollary 1.
+
+Given an instance and a completion-time ordering ``pi`` (``pi[j]`` is the
+task completing at the end of column ``j``), the optimal column-based
+fractional schedule respecting that ordering is the solution of
+
+.. math::
+
+    \\min \\sum_j w_{\\pi(j)} C_j \\quad\\text{s.t.}\\quad
+    \\begin{cases}
+    C_j \\ge C_{j-1} \\ge 0 & \\forall j \\\\
+    \\sum_i x_{i,j} \\le P\\,(C_j - C_{j-1}) & \\forall j \\\\
+    x_{i,j} \\le \\delta_i\\,(C_j - C_{j-1}) & \\forall i, j \\le \\mathrm{pos}(i) \\\\
+    \\sum_{j \\le \\mathrm{pos}(i)} x_{i,j} = V_i & \\forall i \\\\
+    x_{i,j} \\ge 0
+    \\end{cases}
+
+where ``x_{i,j}`` is the *area* (volume) given to task ``i`` inside column
+``j``.  The decision variables are the ``n`` column end times ``C_j`` and the
+``n (n+1) / 2`` areas ``x_{i,j}`` for ``j <= pos(i)``.
+
+This module only *builds* the matrices; solving is delegated to
+:mod:`repro.lp.scipy_backend` or :mod:`repro.lp.simplex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.instance import Instance
+
+__all__ = ["OrderedLP", "build_ordered_lp"]
+
+
+@dataclass
+class OrderedLP:
+    """A fixed-ordering LP in the canonical ``min c.x, A_ub x <= b_ub, A_eq x = b_eq, x >= 0`` form.
+
+    Attributes
+    ----------
+    instance:
+        The scheduling instance the LP was built for.
+    order:
+        The completion ordering; ``order[j]`` is the task finishing column ``j``.
+    c, A_ub, b_ub, A_eq, b_eq:
+        Dense matrices of the LP.
+    num_columns_vars:
+        The first ``num_columns_vars`` variables are the column end times
+        ``C_1..C_n``; the remaining ones are the areas ``x_{i,j}``.
+    area_index:
+        Mapping ``(task, column) -> variable index`` for the area variables.
+    """
+
+    instance: Instance
+    order: tuple[int, ...]
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    num_column_vars: int
+    area_index: dict[tuple[int, int], int] = field(repr=False)
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of decision variables."""
+        return self.c.size
+
+    def extract_completion_times(self, x: np.ndarray) -> np.ndarray:
+        """Column end times ``C_1..C_n`` from a solution vector."""
+        return np.asarray(x[: self.num_column_vars], dtype=float)
+
+    def extract_rates(self, x: np.ndarray, atol: float = 1e-12) -> np.ndarray:
+        """Per-column processor rates ``d_{i,j} = x_{i,j} / l_j`` from a solution vector.
+
+        Columns of (numerically) zero length get rate 0; the corresponding
+        areas are forced to ~0 by the capacity constraint anyway.
+        """
+        n = self.instance.n
+        C = self.extract_completion_times(x)
+        lengths = np.diff(np.concatenate(([0.0], C)))
+        rates = np.zeros((n, n))
+        for (task, col), idx in self.area_index.items():
+            if lengths[col] > atol:
+                rates[task, col] = x[idx] / lengths[col]
+        return rates
+
+
+def build_ordered_lp(instance: Instance, order: Sequence[int]) -> OrderedLP:
+    """Build the Corollary 1 LP for ``instance`` under the ordering ``order``.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    order:
+        Permutation of task indices; ``order[j]`` completes at the end of
+        column ``j``.
+    """
+    n = instance.n
+    order = tuple(int(i) for i in order)
+    if sorted(order) != list(range(n)):
+        raise InvalidScheduleError(f"order must be a permutation of 0..{n - 1}, got {order!r}")
+    position = {task: j for j, task in enumerate(order)}
+
+    # Variable layout: [C_0 .. C_{n-1}, x vars]
+    area_index: dict[tuple[int, int], int] = {}
+    next_var = n
+    for i in range(n):
+        for j in range(position[i] + 1):
+            area_index[(i, j)] = next_var
+            next_var += 1
+    num_vars = next_var
+
+    c = np.zeros(num_vars)
+    for j, task in enumerate(order):
+        c[j] = instance.weights[task]
+
+    ub_rows: list[np.ndarray] = []
+    ub_rhs: list[float] = []
+
+    # (a) Column ordering: C_{j-1} - C_j <= 0 ; and -C_0 <= 0 handled by x >= 0 bounds.
+    for j in range(1, n):
+        row = np.zeros(num_vars)
+        row[j - 1] = 1.0
+        row[j] = -1.0
+        ub_rows.append(row)
+        ub_rhs.append(0.0)
+
+    # (b) Platform capacity: sum_i x_{i,j} - P (C_j - C_{j-1}) <= 0.
+    for j in range(n):
+        row = np.zeros(num_vars)
+        for i in range(n):
+            idx = area_index.get((i, j))
+            if idx is not None:
+                row[idx] = 1.0
+        row[j] -= instance.P
+        if j > 0:
+            row[j - 1] += instance.P
+        ub_rows.append(row)
+        ub_rhs.append(0.0)
+
+    # (c) Per-task cap: x_{i,j} - delta_i (C_j - C_{j-1}) <= 0.
+    for (i, j), idx in area_index.items():
+        row = np.zeros(num_vars)
+        row[idx] = 1.0
+        row[j] -= instance.deltas[i]
+        if j > 0:
+            row[j - 1] += instance.deltas[i]
+        ub_rows.append(row)
+        ub_rhs.append(0.0)
+
+    # (d) Volume conservation: sum_j x_{i,j} = V_i.
+    eq_rows: list[np.ndarray] = []
+    eq_rhs: list[float] = []
+    for i in range(n):
+        row = np.zeros(num_vars)
+        for j in range(position[i] + 1):
+            row[area_index[(i, j)]] = 1.0
+        eq_rows.append(row)
+        eq_rhs.append(float(instance.volumes[i]))
+
+    A_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, num_vars))
+    b_ub = np.array(ub_rhs)
+    A_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, num_vars))
+    b_eq = np.array(eq_rhs)
+
+    return OrderedLP(
+        instance=instance,
+        order=order,
+        c=c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        num_column_vars=n,
+        area_index=area_index,
+    )

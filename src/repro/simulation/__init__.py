@@ -1,0 +1,45 @@
+"""Event-driven, non-clairvoyant execution of online scheduling policies.
+
+The algorithms of Section III are *online*: they never see the task volumes,
+only the completion events.  :mod:`repro.algorithms.wdeq` computes their
+schedules directly (which is convenient but clairvoyant in structure); this
+subpackage instead runs a genuine discrete-event simulation in which
+
+* the **engine** (:mod:`repro.simulation.engine`) owns the task volumes and
+  advances time between events,
+* the **policy** (:mod:`repro.simulation.policies`) only observes the set of
+  currently-active tasks (their weights, caps, elapsed work) and decides the
+  processor shares.
+
+The two implementations are checked against each other in the test suite —
+a policy that secretly peeked at volumes would not reproduce the analytic
+WDEQ schedule on adversarial instances.
+"""
+
+from repro.simulation.engine import SimulationResult, simulate
+from repro.simulation.events import CompletionEvent, ReshareEvent, SimulationTrace
+from repro.simulation.policies import (
+    DeqPolicy,
+    FairShareNoCapPolicy,
+    OnlinePolicy,
+    PriorityPolicy,
+    TaskView,
+    WdeqPolicy,
+)
+from repro.simulation.nonclairvoyant import compare_policies, run_wdeq_online
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "SimulationTrace",
+    "CompletionEvent",
+    "ReshareEvent",
+    "OnlinePolicy",
+    "TaskView",
+    "WdeqPolicy",
+    "DeqPolicy",
+    "FairShareNoCapPolicy",
+    "PriorityPolicy",
+    "run_wdeq_online",
+    "compare_policies",
+]

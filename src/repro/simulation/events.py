@@ -1,0 +1,69 @@
+"""Event records produced by the discrete-event simulation engine.
+
+The engine keeps a chronological trace of everything that happened during a
+run: reshare decisions (what the policy allocated and when) and task
+completions.  The trace is what the non-clairvoyance tests inspect — a policy
+is only allowed to change its allocation at trace events, never "between"
+them, because between events it has no new information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ReshareEvent", "CompletionEvent", "ReleaseEvent", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class ReshareEvent:
+    """The policy (re)computed the processor shares at time ``time``."""
+
+    time: float
+    allocation: Mapping[int, float]
+
+
+@dataclass(frozen=True)
+class CompletionEvent:
+    """Task ``task`` completed at time ``time``."""
+
+    time: float
+    task: int
+
+
+@dataclass(frozen=True)
+class ReleaseEvent:
+    """Task ``task`` became available (released) at time ``time``."""
+
+    time: float
+    task: int
+
+
+@dataclass
+class SimulationTrace:
+    """Chronological record of a simulation run."""
+
+    reshare_events: list[ReshareEvent] = field(default_factory=list)
+    completion_events: list[CompletionEvent] = field(default_factory=list)
+    release_events: list[ReleaseEvent] = field(default_factory=list)
+
+    def record_reshare(self, event: ReshareEvent) -> None:
+        """Append a reshare event."""
+        self.reshare_events.append(event)
+
+    def record_completion(self, event: CompletionEvent) -> None:
+        """Append a completion event."""
+        self.completion_events.append(event)
+
+    def record_release(self, event: ReleaseEvent) -> None:
+        """Append a release event."""
+        self.release_events.append(event)
+
+    @property
+    def num_reshares(self) -> int:
+        """Number of times the policy was asked for a new allocation."""
+        return len(self.reshare_events)
+
+    def completion_order(self) -> list[int]:
+        """Task indices in order of completion."""
+        return [e.task for e in sorted(self.completion_events, key=lambda e: (e.time, e.task))]

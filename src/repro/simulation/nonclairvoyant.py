@@ -1,0 +1,62 @@
+"""Convenience wrappers around the simulation engine.
+
+These helpers run the standard policy line-up (WDEQ, DEQ, the cap-less
+weighted fair share and a Smith-priority policy) on an instance and collect
+their objective values, which is the comparison reported in experiment E5 and
+in the bandwidth-sharing experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.simulation.engine import SimulationResult, simulate
+from repro.simulation.policies import (
+    DeqPolicy,
+    FairShareNoCapPolicy,
+    OnlinePolicy,
+    PriorityPolicy,
+    WdeqPolicy,
+)
+
+__all__ = ["run_wdeq_online", "default_policies", "compare_policies"]
+
+
+def run_wdeq_online(
+    instance: Instance, release_times: Sequence[float] | None = None
+) -> SimulationResult:
+    """Run the online WDEQ policy through the event-driven engine."""
+    return simulate(instance, WdeqPolicy(), release_times=release_times)
+
+
+def default_policies(instance: Instance) -> list[OnlinePolicy]:
+    """The standard line-up of online policies used by the experiments."""
+    smith_priorities = np.zeros(instance.n)
+    ratios = np.array([t.smith_ratio for t in instance.tasks])
+    finite = np.isfinite(ratios)
+    if np.any(finite):
+        # Larger priority = served first; Smith serves the *smallest* ratio first.
+        smith_priorities[finite] = ratios[finite].max() - ratios[finite]
+    return [
+        WdeqPolicy(),
+        DeqPolicy(),
+        FairShareNoCapPolicy(),
+        PriorityPolicy(priorities=smith_priorities, name="Smith priority"),
+    ]
+
+
+def compare_policies(
+    instance: Instance,
+    policies: Iterable[OnlinePolicy] | None = None,
+    release_times: Sequence[float] | None = None,
+) -> dict[str, SimulationResult]:
+    """Run several policies on the same instance and index results by name."""
+    if policies is None:
+        policies = default_policies(instance)
+    results: dict[str, SimulationResult] = {}
+    for policy in policies:
+        results[policy.name] = simulate(instance, policy, release_times=release_times)
+    return results

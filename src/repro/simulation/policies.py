@@ -1,0 +1,150 @@
+"""Online (non-clairvoyant) allocation policies.
+
+A policy is asked, every time the set of active tasks changes, to split the
+``P`` processors among the active tasks.  It sees a :class:`TaskView` for
+each of them: weight, cap, elapsed processing time and the amount of work
+already done — but **never** the total volume, which is what makes the policy
+non-clairvoyant in the sense of Section III of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.algorithms.wdeq import wdeq_allocation
+from repro.core.exceptions import SimulationError
+
+__all__ = [
+    "TaskView",
+    "OnlinePolicy",
+    "WdeqPolicy",
+    "DeqPolicy",
+    "FairShareNoCapPolicy",
+    "PriorityPolicy",
+]
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """What an online policy is allowed to know about an active task.
+
+    Attributes
+    ----------
+    task_id:
+        Index of the task in the instance.
+    weight, delta:
+        The task's weight and processor cap (public information).
+    work_done:
+        Work processed so far — known because the policy itself granted the
+        processors.
+    elapsed:
+        Time since the task was released.
+    """
+
+    task_id: int
+    weight: float
+    delta: float
+    work_done: float
+    elapsed: float
+
+
+class OnlinePolicy(abc.ABC):
+    """Base class for non-clairvoyant allocation policies."""
+
+    #: Human-readable name used by the experiment reports.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def allocate(self, P: float, tasks: Sequence[TaskView]) -> Mapping[int, float]:
+        """Share ``P`` processors among the active tasks.
+
+        Must return a mapping ``task_id -> rate`` with ``0 <= rate <=
+        delta_i`` and total at most ``P``; the engine validates this and
+        raises :class:`~repro.core.exceptions.SimulationError` on violation.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class WdeqPolicy(OnlinePolicy):
+    """Weighted Dynamic EQuipartition (Algorithm 1 of the paper)."""
+
+    name = "WDEQ"
+
+    def allocate(self, P: float, tasks: Sequence[TaskView]) -> Mapping[int, float]:
+        if not tasks:
+            return {}
+        weights = [t.weight for t in tasks]
+        deltas = [t.delta for t in tasks]
+        shares = wdeq_allocation(P, weights, deltas)
+        return {t.task_id: float(s) for t, s in zip(tasks, shares)}
+
+
+class DeqPolicy(OnlinePolicy):
+    """Dynamic EQuipartition (Deng et al.): WDEQ with the weights ignored."""
+
+    name = "DEQ"
+
+    def allocate(self, P: float, tasks: Sequence[TaskView]) -> Mapping[int, float]:
+        if not tasks:
+            return {}
+        deltas = [t.delta for t in tasks]
+        shares = wdeq_allocation(P, [1.0] * len(tasks), deltas)
+        return {t.task_id: float(s) for t, s in zip(tasks, shares)}
+
+
+class FairShareNoCapPolicy(OnlinePolicy):
+    """Weighted fair sharing that ignores the per-task caps.
+
+    This is the Weighted Round-Robin baseline of the single-processor world
+    (reference [14]); on malleable instances it may violate the caps, in
+    which case the engine clamps the allocation to ``delta_i`` and leaves the
+    excess capacity idle — precisely the degradation the caps are meant to
+    model (a worker cannot absorb more than its incoming bandwidth).
+    """
+
+    name = "WRR (no cap)"
+
+    def allocate(self, P: float, tasks: Sequence[TaskView]) -> Mapping[int, float]:
+        if not tasks:
+            return {}
+        total_weight = sum(t.weight for t in tasks)
+        if total_weight <= 0:
+            raise SimulationError("FairShareNoCapPolicy requires positive weights")
+        return {
+            t.task_id: min(t.delta, P * t.weight / total_weight) for t in tasks
+        }
+
+
+class PriorityPolicy(OnlinePolicy):
+    """Serve tasks in a fixed priority order, each at its cap.
+
+    The highest-priority active task gets ``min(delta, P)`` processors, the
+    next one gets what is left, and so on.  With priorities given by Smith's
+    ratio this is the non-clairvoyant analogue of the greedy schedule; with
+    priorities by weight it models a strict-priority cluster scheduler.
+    """
+
+    def __init__(self, priorities: Sequence[float], name: str = "priority"):
+        #: priorities[task_id] — larger value is served first.
+        self.priorities = np.asarray(priorities, dtype=float)
+        self.name = name
+
+    def allocate(self, P: float, tasks: Sequence[TaskView]) -> Mapping[int, float]:
+        ordered = sorted(
+            tasks, key=lambda t: (-self.priorities[t.task_id], t.task_id)
+        )
+        remaining = float(P)
+        allocation: dict[int, float] = {}
+        for t in ordered:
+            share = min(t.delta, remaining)
+            allocation[t.task_id] = share
+            remaining -= share
+            if remaining <= 0:
+                remaining = 0.0
+        return allocation

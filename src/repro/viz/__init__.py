@@ -1,0 +1,17 @@
+"""Text-based visualisation: Gantt charts and report tables.
+
+The original paper illustrates schedules with Gantt charts (Figures 2-7);
+this package renders the same pictures as monospace text so they can be
+embedded in terminals, logs and the generated ``EXPERIMENTS.md`` without any
+plotting dependency.
+"""
+
+from repro.viz.gantt import render_allocation_chart, render_processor_gantt
+from repro.viz.tables import format_markdown_table, format_table
+
+__all__ = [
+    "render_allocation_chart",
+    "render_processor_gantt",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,103 @@
+"""Text Gantt charts for malleable schedules.
+
+Two views are provided:
+
+* :func:`render_allocation_chart` — the "column" view of the paper's figures:
+  time on the horizontal axis, number of processors on the vertical axis,
+  each cell showing which task occupies that (time, processor-level) slot of
+  the stacked allocation;
+* :func:`render_processor_gantt` — the concrete per-processor view of a
+  :class:`~repro.core.schedule.ProcessorAssignment`, one line per processor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.schedule import ColumnSchedule, ContinuousSchedule, ProcessorAssignment
+
+__all__ = ["render_allocation_chart", "render_processor_gantt"]
+
+#: Symbols used for tasks (cycled when there are more tasks than symbols).
+_TASK_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _symbol(task: int) -> str:
+    return _TASK_SYMBOLS[task % len(_TASK_SYMBOLS)]
+
+
+def render_allocation_chart(
+    schedule: ColumnSchedule | ContinuousSchedule,
+    width: int = 72,
+    height: int | None = None,
+) -> str:
+    """Render the stacked allocation (processors x time) as text.
+
+    Each output row is one "processor level" (top row = level ``P``), each
+    output column a time slice of the horizon; the character is the symbol of
+    the task stacked at that level at that time, or ``.`` for idle capacity.
+    """
+    continuous = schedule.to_continuous() if isinstance(schedule, ColumnSchedule) else schedule
+    inst = continuous.instance
+    horizon = float(continuous.breakpoints[-1])
+    if horizon <= 0 or inst.n == 0:
+        return "(empty schedule)"
+    if height is None:
+        height = max(4, min(24, int(math.ceil(inst.P))))
+    lines = []
+    times = np.linspace(0, horizon, width, endpoint=False) + horizon / (2 * width)
+    grid = [["." for _ in range(width)] for _ in range(height)]
+    for col, t in enumerate(times):
+        # Stack tasks (in index order) and mark the levels they cover.
+        level = 0.0
+        for task in range(inst.n):
+            rate = continuous.rate_at(task, float(t))
+            if rate <= 1e-12:
+                continue
+            lo = level
+            hi = level + rate
+            level = hi
+            row_lo = int(math.floor(lo / inst.P * height))
+            row_hi = int(math.ceil(hi / inst.P * height))
+            for row in range(row_lo, min(row_hi, height)):
+                grid[row][col] = _symbol(task)
+    for row in reversed(range(height)):
+        lines.append("".join(grid[row]))
+    axis = f"0{' ' * (width - len(f'{horizon:.3g}') - 1)}{horizon:.3g}"
+    legend = "  ".join(
+        f"{_symbol(i)}={inst.tasks[i].name or f'T{i + 1}'}" for i in range(min(inst.n, 12))
+    )
+    if inst.n > 12:
+        legend += "  ..."
+    return "\n".join(lines + [axis, legend])
+
+
+def render_processor_gantt(
+    assignment: ProcessorAssignment, width: int = 72
+) -> str:
+    """Render a per-processor Gantt chart, one text line per processor."""
+    inst = assignment.instance
+    horizon = assignment.makespan()
+    if horizon <= 0:
+        return "(empty schedule)"
+    lines = []
+    times = np.linspace(0, horizon, width, endpoint=False) + horizon / (2 * width)
+    for p, segments in enumerate(assignment.segments):
+        row = []
+        for t in times:
+            symbol = "."
+            for seg in segments:
+                if seg.start - 1e-12 <= t < seg.end + 1e-12:
+                    symbol = _symbol(seg.task)
+                    break
+            row.append(symbol)
+        lines.append(f"P{p + 1:<3d}|" + "".join(row) + "|")
+    axis = " " * 5 + f"0{' ' * (width - len(f'{horizon:.3g}') - 1)}{horizon:.3g}"
+    legend = "  ".join(
+        f"{_symbol(i)}={inst.tasks[i].name or f'T{i + 1}'}" for i in range(min(inst.n, 12))
+    )
+    if inst.n > 12:
+        legend += "  ..."
+    return "\n".join(lines + [axis, legend])

@@ -1,0 +1,52 @@
+"""Plain-text and Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    return [[_cell(c) for c in row] for row in rows]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], padding: int = 2
+) -> str:
+    """Render an aligned monospace table (no external dependency)."""
+    str_rows = _stringify(rows)
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    pad = " " * padding
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return pad.join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = pad.join("-" * w for w in widths)
+    lines = [fmt_row(headers), separator]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    str_rows = _stringify(rows)
+    headers = [str(h) for h in headers]
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        padded = list(row) + [""] * (len(headers) - len(row))
+        lines.append("| " + " | ".join(padded[: len(headers)]) + " |")
+    return "\n".join(lines)

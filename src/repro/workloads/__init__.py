@@ -1,0 +1,34 @@
+"""Random instance generators and named workload suites.
+
+The paper's experiments use very specific random instance families (uniform
+``delta_i < P``, ``w_i < 1``, ``V_i < 1``; constant-weight variants; the
+Section V-B homogeneous family).  They are all implemented in
+:mod:`repro.workloads.generators`, with reproducible seeding, and grouped
+into named suites (one per experiment) in :mod:`repro.workloads.suites`.
+"""
+
+from repro.workloads.generators import (
+    bandwidth_scenario_instances,
+    cluster_instances,
+    constant_weight_instances,
+    constant_weight_volume_instances,
+    homogeneous_halfdelta_deltas,
+    homogeneous_halfdelta_instances,
+    large_delta_instances,
+    uniform_instances,
+)
+from repro.workloads.suites import WORKLOAD_SUITES, WorkloadSuite, get_suite
+
+__all__ = [
+    "uniform_instances",
+    "constant_weight_instances",
+    "constant_weight_volume_instances",
+    "large_delta_instances",
+    "homogeneous_halfdelta_instances",
+    "homogeneous_halfdelta_deltas",
+    "cluster_instances",
+    "bandwidth_scenario_instances",
+    "WorkloadSuite",
+    "WORKLOAD_SUITES",
+    "get_suite",
+]

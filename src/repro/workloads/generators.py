@@ -1,0 +1,204 @@
+"""Random instance generators matching the paper's experiments.
+
+Every generator takes an explicit ``rng`` (a :class:`numpy.random.Generator`)
+or a ``seed`` and is fully reproducible.  Parameters of the generated tasks
+are bounded away from zero (by ``min_value``) so that degenerate tasks (zero
+volume or zero weight, which the model excludes) never appear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.instance import Instance, Task
+
+__all__ = [
+    "uniform_instances",
+    "constant_weight_instances",
+    "constant_weight_volume_instances",
+    "large_delta_instances",
+    "homogeneous_halfdelta_deltas",
+    "homogeneous_halfdelta_instances",
+    "cluster_instances",
+    "bandwidth_scenario_instances",
+]
+
+#: Smallest value a random volume / weight / cap may take; keeps instances
+#: away from the degenerate boundary of the model.
+MIN_VALUE = 1e-3
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def uniform_instances(
+    n: int,
+    count: int,
+    P: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """The random family of the Conjecture 12 experiments (Section V-A).
+
+    "Uniform random tasks (uniform among tasks such that ``delta_i < P``,
+    ``w_i < 1`` and ``V_i < 1``)": volumes, weights uniform on ``(0, 1)`` and
+    caps uniform on ``(0, P)``.
+    """
+    generator = _rng(rng)
+    for _ in range(count):
+        volumes = generator.uniform(MIN_VALUE, 1.0, size=n)
+        weights = generator.uniform(MIN_VALUE, 1.0, size=n)
+        deltas = generator.uniform(MIN_VALUE * P, P, size=n)
+        yield Instance(
+            P=P,
+            tasks=[Task(volume=v, weight=w, delta=d) for v, w, d in zip(volumes, weights, deltas)],
+        )
+
+
+def constant_weight_instances(
+    n: int,
+    count: int,
+    P: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """The constant-weight variant of the Conjecture 12 experiments (``w_i = 1``)."""
+    generator = _rng(rng)
+    for _ in range(count):
+        volumes = generator.uniform(MIN_VALUE, 1.0, size=n)
+        deltas = generator.uniform(MIN_VALUE * P, P, size=n)
+        yield Instance(
+            P=P,
+            tasks=[Task(volume=v, weight=1.0, delta=d) for v, d in zip(volumes, deltas)],
+        )
+
+
+def constant_weight_volume_instances(
+    n: int,
+    count: int,
+    P: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """Constant weight *and* volume variant (``w_i = V_i = 1``), caps random."""
+    generator = _rng(rng)
+    for _ in range(count):
+        deltas = generator.uniform(MIN_VALUE * P, P, size=n)
+        yield Instance(
+            P=P, tasks=[Task(volume=1.0, weight=1.0, delta=d) for d in deltas]
+        )
+
+
+def large_delta_instances(
+    n: int,
+    count: int,
+    P: float = 1.0,
+    homogeneous_weights: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """Instances satisfying the hypothesis of Theorem 11: ``delta_i > P/2``.
+
+    Weights are 1 by default (the theorem requires homogeneous weights);
+    set ``homogeneous_weights=False`` to probe the conjectured extension to
+    arbitrary weights.
+    """
+    generator = _rng(rng)
+    for _ in range(count):
+        volumes = generator.uniform(MIN_VALUE, 1.0, size=n)
+        deltas = generator.uniform(P / 2 + MIN_VALUE * P, P, size=n)
+        if homogeneous_weights:
+            weights = np.ones(n)
+        else:
+            weights = generator.uniform(MIN_VALUE, 1.0, size=n)
+        yield Instance(
+            P=P,
+            tasks=[Task(volume=v, weight=w, delta=d) for v, w, d in zip(volumes, weights, deltas)],
+        )
+
+
+def homogeneous_halfdelta_deltas(
+    n: int,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[np.ndarray]:
+    """Caps for the Section V-B family: ``delta_i`` uniform on ``[1/2, 1]``.
+
+    Returned as raw arrays because the closed-form greedy recurrence of
+    :mod:`repro.algorithms.greedy_homogeneous` works on the caps directly.
+    """
+    generator = _rng(rng)
+    for _ in range(count):
+        yield generator.uniform(0.5, 1.0, size=n)
+
+
+def homogeneous_halfdelta_instances(
+    n: int,
+    count: int,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """Full instances of the Section V-B family (``P=1``, ``V_i=w_i=1``)."""
+    for deltas in homogeneous_halfdelta_deltas(n, count, rng):
+        yield Instance(
+            P=1.0, tasks=[Task(volume=1.0, weight=1.0, delta=float(d)) for d in deltas]
+        )
+
+
+def cluster_instances(
+    n: int,
+    count: int,
+    P: float = 64.0,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """A realistic multicore/cluster workload for the larger experiments.
+
+    Volumes are log-normal (a few large jobs dominate, as in production
+    traces), weights are drawn from a small set of priority classes, and caps
+    are integer core counts between 1 and ``P`` skewed towards small values —
+    a synthetic stand-in for the multicore scenario that motivates the paper
+    (no public trace of work-preserving malleable jobs exists).
+    """
+    generator = _rng(rng)
+    priority_classes = np.array([1.0, 2.0, 4.0, 8.0])
+    for _ in range(count):
+        volumes = np.maximum(generator.lognormal(mean=1.0, sigma=1.0, size=n), MIN_VALUE)
+        weights = generator.choice(priority_classes, size=n)
+        # Cap ~ small powers of two up to P, biased towards narrow jobs.
+        exponents = generator.geometric(p=0.45, size=n)
+        deltas = np.minimum(2.0 ** exponents, P)
+        yield Instance(
+            P=P,
+            tasks=[
+                Task(volume=float(v), weight=float(w), delta=float(d))
+                for v, w, d in zip(volumes, weights, deltas)
+            ],
+        )
+
+
+def bandwidth_scenario_instances(
+    n: int,
+    count: int,
+    server_bandwidth: float = 1000.0,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """Master–worker code-distribution scenarios (Figure 1 of the paper).
+
+    The server's outgoing bandwidth plays the role of ``P`` (Mbit/s), each
+    worker's incoming bandwidth is its cap ``delta_i`` (typical access-link
+    values), the code size is the volume ``V_i`` (Mbit) and the worker's
+    processing rate is the weight ``w_i`` (tasks/s once the code arrives).
+    """
+    generator = _rng(rng)
+    link_choices = np.array([10.0, 100.0, 250.0, 500.0, 1000.0])
+    for _ in range(count):
+        deltas = np.minimum(generator.choice(link_choices, size=n), server_bandwidth)
+        volumes = generator.uniform(50.0, 2000.0, size=n)  # code sizes in Mbit
+        weights = generator.uniform(0.5, 8.0, size=n)  # processing rates
+        yield Instance(
+            P=server_bandwidth,
+            tasks=[
+                Task(volume=float(v), weight=float(w), delta=float(d), name=f"worker{i + 1}")
+                for i, (v, w, d) in enumerate(zip(volumes, weights, deltas))
+            ],
+        )

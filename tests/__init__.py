@@ -1,0 +1,6 @@
+"""Test package for the malleable-task scheduling reproduction.
+
+The package marker lets test modules import shared helpers from
+``tests.conftest`` (e.g. :func:`tests.conftest.random_instance`) regardless
+of how pytest is invoked (``pytest`` or ``python -m pytest``).
+"""

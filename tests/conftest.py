@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_task_instance() -> Instance:
+    """A tiny instance whose optimal schedule is easy to reason about by hand."""
+    return Instance(P=2, tasks=[Task(volume=2, weight=2, delta=1), Task(volume=2, weight=1, delta=2)])
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """A 4-task heterogeneous instance used throughout the unit tests."""
+    return Instance(
+        P=4,
+        tasks=[
+            Task(volume=4, weight=2, delta=2, name="A"),
+            Task(volume=6, weight=1, delta=3, name="B"),
+            Task(volume=2, weight=1, delta=1, name="C"),
+            Task(volume=5, weight=3, delta=4, name="D"),
+        ],
+    )
+
+
+@pytest.fixture
+def uncapped_instance() -> Instance:
+    """An instance with no effective per-task caps (delta_i = P)."""
+    return Instance(
+        P=3,
+        tasks=[Task(volume=3, weight=1), Task(volume=6, weight=2), Task(volume=1.5, weight=1)],
+    )
+
+
+@pytest.fixture
+def homogeneous_vb_instance() -> Instance:
+    """A Section V-B instance: P = 1, V = w = 1, delta in [1/2, 1]."""
+    return Instance(
+        P=1,
+        tasks=[Task(volume=1, weight=1, delta=d) for d in (0.9, 0.7, 0.55)],
+    )
+
+
+def random_instance(
+    rng: np.random.Generator, n: int, P: float = 1.0, integer: bool = False
+) -> Instance:
+    """Helper (not a fixture) to build a random instance inside tests."""
+    if integer:
+        deltas = rng.integers(1, int(P) + 1, size=n).astype(float)
+    else:
+        deltas = rng.uniform(0.05 * P, P, size=n)
+    return Instance(
+        P=P,
+        tasks=[
+            Task(
+                volume=float(rng.uniform(0.1, 1.0)),
+                weight=float(rng.uniform(0.1, 1.0)),
+                delta=float(d),
+            )
+            for d in deltas
+        ],
+    )

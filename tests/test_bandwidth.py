@@ -1,0 +1,138 @@
+"""Tests for the bandwidth-sharing substrate (Figure 1 scenario)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandwidth import (
+    BandwidthScenario,
+    TransferPlan,
+    Worker,
+    plan_transfers,
+    scenario_to_instance,
+    throughput,
+)
+from repro.bandwidth.transfer import (
+    fair_share_completion_times,
+    sequential_completion_times,
+)
+from repro.core.exceptions import InvalidInstanceError
+
+
+@pytest.fixture
+def scenario() -> BandwidthScenario:
+    workers = [
+        Worker(name="w1", code_size=100.0, incoming_bandwidth=100.0, processing_rate=2.0),
+        Worker(name="w2", code_size=400.0, incoming_bandwidth=200.0, processing_rate=1.0),
+        Worker(name="w3", code_size=200.0, incoming_bandwidth=50.0, processing_rate=4.0),
+    ]
+    return BandwidthScenario(server_bandwidth=250.0, workers=workers).with_default_horizon(2.0)
+
+
+class TestWorkerAndScenario:
+    def test_worker_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            Worker("w", code_size=0, incoming_bandwidth=1, processing_rate=1)
+        with pytest.raises(InvalidInstanceError):
+            Worker("w", code_size=1, incoming_bandwidth=0, processing_rate=1)
+        with pytest.raises(InvalidInstanceError):
+            Worker("w", code_size=1, incoming_bandwidth=1, processing_rate=-1)
+
+    def test_minimal_transfer_time(self):
+        worker = Worker("w", code_size=100, incoming_bandwidth=50, processing_rate=1)
+        assert worker.minimal_transfer_time == pytest.approx(2.0)
+
+    def test_scenario_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            BandwidthScenario(server_bandwidth=0, workers=[])
+        with pytest.raises(InvalidInstanceError):
+            BandwidthScenario(server_bandwidth=1, workers=[], horizon=-1)
+
+    def test_lower_bound_horizon(self, scenario):
+        # total codes 700 / 250 = 2.8; slowest single transfer 200/50 = 4.
+        assert scenario.lower_bound_horizon() == pytest.approx(4.0)
+        assert scenario.horizon == pytest.approx(8.0)
+
+    def test_random_scenario(self):
+        scenario = BandwidthScenario.random(5, rng=0)
+        assert scenario.num_workers == 5
+        assert scenario.horizon > 0
+
+
+class TestMapping:
+    def test_scenario_to_instance(self, scenario):
+        inst = scenario_to_instance(scenario)
+        assert inst.n == 3
+        assert inst.P == 250.0
+        np.testing.assert_allclose(inst.volumes, [100, 400, 200])
+        np.testing.assert_allclose(inst.deltas, [100, 200, 50])
+        np.testing.assert_allclose(inst.weights, [2, 1, 4])
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            scenario_to_instance(BandwidthScenario(server_bandwidth=10, workers=[]))
+
+    def test_zero_processing_rate_gets_tiny_weight(self):
+        scenario = BandwidthScenario(
+            server_bandwidth=10,
+            workers=[Worker("w", code_size=1, incoming_bandwidth=1, processing_rate=0.0)],
+        )
+        inst = scenario_to_instance(scenario)
+        assert inst.weights[0] > 0
+
+
+class TestThroughput:
+    def test_unclamped_equivalence_with_weighted_completion(self, scenario):
+        """Maximising sum w_i (T - C_i) == minimising sum w_i C_i (Section I)."""
+        inst = scenario_to_instance(scenario)
+        completions_a = sequential_completion_times(inst)
+        completions_b = fair_share_completion_times(inst)
+        rates = np.array([w.processing_rate for w in scenario.workers])
+        for completions in (completions_a, completions_b):
+            unclamped = throughput(scenario, completions, clamp=False)
+            expected = scenario.horizon * rates.sum() - float(np.dot(rates, completions))
+            assert unclamped == pytest.approx(expected)
+
+    def test_clamped_never_exceeds_unclamped_magnitude(self, scenario):
+        inst = scenario_to_instance(scenario)
+        completions = sequential_completion_times(inst)
+        assert throughput(scenario, completions, clamp=True) >= throughput(
+            scenario, completions, clamp=False
+        ) - 1e-9
+
+    def test_shape_checked(self, scenario):
+        with pytest.raises(InvalidInstanceError):
+            throughput(scenario, [1.0])
+
+
+class TestPlans:
+    def test_default_strategy_lineup(self, scenario):
+        plans = plan_transfers(scenario)
+        names = {p.strategy for p in plans}
+        assert "sequential" in names and "WDEQ" in names
+        assert all(isinstance(p, TransferPlan) for p in plans)
+
+    def test_wdeq_no_worse_than_sequential(self, scenario):
+        plans = {p.strategy: p for p in plan_transfers(scenario)}
+        assert plans["WDEQ"].weighted_completion_time(scenario) <= (
+            plans["sequential"].weighted_completion_time(scenario) + 1e-6
+        )
+
+    def test_greedy_best_objective(self, scenario):
+        plans = {p.strategy: p for p in plan_transfers(scenario)}
+        greedy = plans["greedy (Smith + local search)"]
+        for name, plan in plans.items():
+            assert greedy.weighted_completion_time(scenario) <= (
+                plan.weighted_completion_time(scenario) + 1e-6
+            ), name
+
+    def test_custom_strategy(self, scenario):
+        plans = plan_transfers(scenario, strategies={"seq": sequential_completion_times})
+        assert len(plans) == 1 and plans[0].strategy == "seq"
+
+    def test_plan_throughput_method(self, scenario):
+        plan = plan_transfers(scenario, strategies={"seq": sequential_completion_times})[0]
+        assert plan.throughput(scenario) == pytest.approx(
+            throughput(scenario, plan.completion_times)
+        )

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "E1", "--seed", "7"])
+        assert args.command == "run"
+        assert args.experiment == "E1"
+        assert args.seed == 7
+        assert args.paper_scale is False
+
+    def test_all_command_with_output(self):
+        args = build_parser().parse_args(["all", "--output", "report.md", "--paper-scale"])
+        assert args.command == "all"
+        assert args.output == "report.md"
+        assert args.paper_scale is True
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E9" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "E42"])

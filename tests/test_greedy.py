@@ -1,0 +1,139 @@
+"""Tests for greedy schedules and the best-greedy search (Section V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.validation import validate_continuous_schedule
+from repro.algorithms.greedy import (
+    best_greedy_schedule,
+    exhaustive_greedy_values,
+    greedy_completion_times,
+    greedy_schedule,
+    local_search_greedy_schedule,
+)
+from repro.algorithms.optimal import optimal_value
+from tests.conftest import random_instance
+
+
+class TestGreedyCompletionTimes:
+    def test_single_task_runs_at_cap(self):
+        inst = Instance(P=4, tasks=[Task(volume=6, delta=3)])
+        np.testing.assert_allclose(greedy_completion_times(inst, [0]), [2.0])
+
+    def test_two_tasks_first_saturated(self):
+        # P=2; first task delta=1 occupies one processor for 2 time units; the
+        # second (delta=2) gets 1 processor until t=2 then 2 processors.
+        inst = Instance(P=2, tasks=[Task(2, 1, 1), Task(3, 1, 2)])
+        completions = greedy_completion_times(inst, [0, 1])
+        assert completions[0] == pytest.approx(2.0)
+        assert completions[1] == pytest.approx(2.5)
+
+    def test_order_changes_completions(self):
+        inst = Instance(P=2, tasks=[Task(2, 1, 1), Task(3, 1, 2)])
+        a = greedy_completion_times(inst, [0, 1])
+        b = greedy_completion_times(inst, [1, 0])
+        assert not np.allclose(a, b)
+
+    def test_invalid_order(self, small_instance):
+        with pytest.raises(InvalidScheduleError):
+            greedy_completion_times(small_instance, [0, 1, 2])
+
+    def test_empty_instance(self):
+        inst = Instance(P=1, tasks=[])
+        assert greedy_completion_times(inst, []).size == 0
+
+
+class TestGreedySchedule:
+    def test_schedule_matches_fast_path(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng, n=5, P=2.0)
+            order = list(rng.permutation(5))
+            fast = greedy_completion_times(inst, order)
+            full = greedy_schedule(inst, order)
+            validate_continuous_schedule(full)
+            np.testing.assert_allclose(full.completion_times(), fast, rtol=1e-7, atol=1e-9)
+
+    def test_greedy_is_work_conserving_prefix(self):
+        # The first task in the order always runs at min(delta, P) from t=0.
+        inst = Instance(P=2, tasks=[Task(2, 1, 1.5), Task(1, 1, 2)])
+        sched = greedy_schedule(inst, [0, 1])
+        assert sched.rate_at(0, 0.1) == pytest.approx(1.5)
+
+    def test_empty(self):
+        inst = Instance(P=1, tasks=[])
+        sched = greedy_schedule(inst, [])
+        assert sched.n == 0
+
+
+class TestBestGreedy:
+    def test_exhaustive_small(self, small_instance):
+        result = best_greedy_schedule(small_instance)
+        assert result.exhaustive
+        assert result.evaluated == 24
+        assert len(result.order) == 4
+
+    def test_best_greedy_matches_optimal_conjecture12(self, rng):
+        """Conjecture 12 on random instances (the paper's E1 in miniature)."""
+        for _ in range(10):
+            n = int(rng.integers(2, 5))
+            inst = random_instance(rng, n=n, P=1.0)
+            greedy = best_greedy_schedule(inst)
+            opt = optimal_value(inst)
+            assert greedy.objective == pytest.approx(opt, rel=1e-6, abs=1e-9)
+
+    def test_best_greedy_never_below_optimal(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng, n=4, P=2.0)
+            greedy = best_greedy_schedule(inst)
+            assert greedy.objective >= optimal_value(inst) - 1e-7
+
+    def test_schedule_materialisation(self, small_instance):
+        result = best_greedy_schedule(small_instance)
+        sched = result.schedule(small_instance)
+        validate_continuous_schedule(sched)
+        np.testing.assert_allclose(
+            sched.completion_times(), result.completion_times, rtol=1e-9
+        )
+
+    def test_empty_instance(self):
+        result = best_greedy_schedule(Instance(P=1, tasks=[]))
+        assert result.order == ()
+        assert result.objective == 0.0
+
+    def test_falls_back_to_local_search(self, rng):
+        inst = random_instance(rng, n=9, P=4.0)
+        result = best_greedy_schedule(inst, exhaustive_limit=6, local_search_restarts=1)
+        assert not result.exhaustive
+        assert len(result.order) == 9
+
+    def test_exhaustive_values_dictionary(self):
+        inst = Instance(P=2, tasks=[Task(1, 1, 1), Task(2, 1, 2)])
+        values = exhaustive_greedy_values(inst)
+        assert set(values) == {(0, 1), (1, 0)}
+        assert all(v > 0 for v in values.values())
+
+
+class TestLocalSearch:
+    def test_no_worse_than_smith_seed(self, rng):
+        for _ in range(5):
+            inst = random_instance(rng, n=7, P=3.0)
+            smith_value = float(
+                np.dot(
+                    inst.weights, greedy_completion_times(inst, inst.smith_order())
+                )
+            )
+            result = local_search_greedy_schedule(inst, restarts=2, rng=rng)
+            assert result.objective <= smith_value + 1e-9
+
+    def test_matches_exhaustive_on_small_instances(self, rng):
+        for _ in range(5):
+            inst = random_instance(rng, n=4, P=2.0)
+            exhaustive = best_greedy_schedule(inst)
+            local = local_search_greedy_schedule(inst, restarts=3, rng=rng)
+            # Pairwise-swap local search is not guaranteed optimal, but on
+            # 4-task instances with 3 restarts it should be close.
+            assert local.objective <= exhaustive.objective * 1.05 + 1e-9

@@ -1,0 +1,202 @@
+"""Unit tests for the instance model (repro.core.instance)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidInstanceError
+
+
+class TestTask:
+    def test_basic_construction(self):
+        task = Task(volume=2.0, weight=3.0, delta=1.5, name="t")
+        assert task.volume == 2.0
+        assert task.weight == 3.0
+        assert task.delta == 1.5
+        assert task.name == "t"
+
+    def test_defaults(self):
+        task = Task(volume=1.0)
+        assert task.weight == 1.0
+        assert math.isinf(task.delta)
+        assert task.name is None
+
+    def test_height(self):
+        assert Task(volume=6, delta=3).height == pytest.approx(2.0)
+
+    def test_height_with_infinite_delta(self):
+        assert Task(volume=6).height == 0.0
+
+    def test_smith_ratio(self):
+        assert Task(volume=6, weight=2).smith_ratio == pytest.approx(3.0)
+
+    def test_smith_ratio_zero_weight(self):
+        assert math.isinf(Task(volume=6, weight=0).smith_ratio)
+
+    @pytest.mark.parametrize("volume", [0.0, -1.0, math.nan, math.inf])
+    def test_invalid_volume(self, volume):
+        with pytest.raises(InvalidInstanceError):
+            Task(volume=volume)
+
+    def test_invalid_weight(self):
+        with pytest.raises(InvalidInstanceError):
+            Task(volume=1, weight=-0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, -2.0])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(InvalidInstanceError):
+            Task(volume=1, delta=delta)
+
+    def test_with_volume(self):
+        task = Task(volume=2, weight=3, delta=1, name="x")
+        shrunk = task.with_volume(0.5)
+        assert shrunk.volume == 0.5
+        assert shrunk.weight == 3
+        assert shrunk.delta == 1
+        assert shrunk.name == "x"
+
+    def test_scaled(self):
+        task = Task(volume=2, weight=3, delta=1)
+        scaled = task.scaled(volume_factor=2, weight_factor=0.5)
+        assert scaled.volume == 4
+        assert scaled.weight == 1.5
+
+    def test_frozen(self):
+        task = Task(volume=1)
+        with pytest.raises(AttributeError):
+            task.volume = 2  # type: ignore[misc]
+
+
+class TestInstance:
+    def test_arrays(self, small_instance):
+        assert small_instance.n == 4
+        np.testing.assert_allclose(small_instance.volumes, [4, 6, 2, 5])
+        np.testing.assert_allclose(small_instance.weights, [2, 1, 1, 3])
+        np.testing.assert_allclose(small_instance.deltas, [2, 3, 1, 4])
+
+    def test_arrays_read_only(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.volumes[0] = 99
+
+    def test_len_iter_getitem(self, small_instance):
+        assert len(small_instance) == 4
+        assert [t.name for t in small_instance] == ["A", "B", "C", "D"]
+        assert small_instance[1].name == "B"
+
+    def test_totals(self, small_instance):
+        assert small_instance.total_volume == pytest.approx(17)
+        assert small_instance.total_weight == pytest.approx(7)
+
+    def test_heights(self, small_instance):
+        np.testing.assert_allclose(small_instance.heights, [2, 2, 2, 1.25])
+
+    def test_invalid_platform(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(P=0, tasks=[Task(1)])
+        with pytest.raises(InvalidInstanceError):
+            Instance(P=-1, tasks=[Task(1)])
+
+    def test_delta_clamped_to_platform(self):
+        inst = Instance(P=2, tasks=[Task(volume=1, delta=10)])
+        assert inst.deltas[0] == 2
+
+    def test_delta_clamp_disabled(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(P=2, tasks=[Task(volume=1, delta=10)], clamp_delta=False)
+
+    def test_non_task_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(P=2, tasks=[{"volume": 1}])  # type: ignore[list-item]
+
+    def test_from_arrays_defaults(self):
+        inst = Instance.from_arrays(P=3, volumes=[1, 2, 3])
+        assert inst.n == 3
+        np.testing.assert_allclose(inst.weights, [1, 1, 1])
+        np.testing.assert_allclose(inst.deltas, [3, 3, 3])
+        assert inst[0].name == "T1"
+
+    def test_from_arrays_mismatched_lengths(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_arrays(P=3, volumes=[1, 2], weights=[1])
+
+    def test_empty_instance(self):
+        inst = Instance(P=1, tasks=[])
+        assert inst.n == 0
+        assert inst.total_volume == 0.0
+
+    def test_homogeneity_predicates(self, homogeneous_vb_instance, small_instance):
+        assert homogeneous_vb_instance.has_homogeneous_weights()
+        assert homogeneous_vb_instance.has_homogeneous_volumes()
+        assert homogeneous_vb_instance.has_large_deltas()
+        assert not small_instance.has_homogeneous_weights()
+        assert not small_instance.has_homogeneous_volumes()
+        assert not small_instance.has_large_deltas()
+
+    def test_is_uniprocessor(self):
+        inst = Instance(P=4, tasks=[Task(1, delta=1), Task(2, delta=1)])
+        assert inst.is_uniprocessor()
+        assert not Instance(P=4, tasks=[Task(1, delta=2)]).is_uniprocessor()
+
+    def test_subinstance_keeps_weights_and_deltas(self, small_instance):
+        sub = small_instance.subinstance([1, 3, 1, 2.5])
+        assert sub.n == 4
+        np.testing.assert_allclose(sub.volumes, [1, 3, 1, 2.5])
+        np.testing.assert_allclose(sub.weights, small_instance.weights)
+
+    def test_subinstance_drops_zero_volume_tasks(self, small_instance):
+        sub = small_instance.subinstance([0, 3, 0, 2.5])
+        assert sub.n == 2
+        np.testing.assert_allclose(sub.volumes, [3, 2.5])
+
+    def test_subinstance_rejects_larger_volumes(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            small_instance.subinstance([10, 1, 1, 1])
+
+    def test_subinstance_rejects_negative(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            small_instance.subinstance([-1, 1, 1, 1])
+
+    def test_subinstance_wrong_shape(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            small_instance.subinstance([1, 1])
+
+    def test_reordered(self, small_instance):
+        reordered = small_instance.reordered([3, 2, 1, 0])
+        assert [t.name for t in reordered] == ["D", "C", "B", "A"]
+
+    def test_reordered_invalid(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            small_instance.reordered([0, 0, 1, 2])
+
+    def test_smith_order(self, small_instance):
+        # Ratios V/w: A=2, B=6, C=2, D=5/3 -> D, A, C, B (ties by index).
+        assert small_instance.smith_order() == [3, 0, 2, 1]
+
+    def test_height_order(self, small_instance):
+        # Heights: A=2, B=2, C=2, D=1.25 -> D first then by index.
+        assert small_instance.height_order() == [3, 0, 1, 2]
+
+    def test_without_task(self, small_instance):
+        reduced = small_instance.without_task(1)
+        assert reduced.n == 3
+        assert [t.name for t in reduced] == ["A", "C", "D"]
+
+    def test_without_task_out_of_range(self, small_instance):
+        with pytest.raises(InvalidInstanceError):
+            small_instance.without_task(10)
+
+    def test_equality_and_hash(self, small_instance):
+        clone = Instance(P=small_instance.P, tasks=list(small_instance.tasks))
+        assert clone == small_instance
+        assert hash(clone) == hash(small_instance)
+        assert clone != Instance(P=5, tasks=list(small_instance.tasks))
+
+    def test_describe_and_repr(self, small_instance):
+        text = small_instance.describe()
+        assert "P = 4" in text
+        assert "A" in text and "D" in text
+        assert "n=4" in repr(small_instance)

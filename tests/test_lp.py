@@ -1,0 +1,167 @@
+"""Tests for the LP layer: formulation, simplex backend, SciPy backend, interface."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.bounds import squashed_area_bound
+from repro.core.exceptions import InvalidScheduleError, SolverError
+from repro.core.validation import validate_column_schedule
+from repro.lp.formulation import build_ordered_lp
+from repro.lp.interface import solve_ordered_relaxation
+from repro.lp.scipy_backend import solve_with_scipy
+from repro.lp.simplex import solve_linear_program
+from tests.conftest import random_instance
+
+
+class TestFormulation:
+    def test_variable_layout(self, small_instance):
+        lp = build_ordered_lp(small_instance, [0, 1, 2, 3])
+        n = small_instance.n
+        assert lp.num_column_vars == n
+        assert lp.num_variables == n + n * (n + 1) // 2
+        assert lp.c[0] == small_instance.weights[0]
+
+    def test_objective_follows_order(self, small_instance):
+        order = [2, 0, 3, 1]
+        lp = build_ordered_lp(small_instance, order)
+        np.testing.assert_allclose(lp.c[:4], small_instance.weights[list(order)])
+
+    def test_invalid_order_rejected(self, small_instance):
+        with pytest.raises(InvalidScheduleError):
+            build_ordered_lp(small_instance, [0, 0, 1, 2])
+
+    def test_volume_constraints_rows(self, small_instance):
+        lp = build_ordered_lp(small_instance, [0, 1, 2, 3])
+        assert lp.A_eq.shape[0] == small_instance.n
+        np.testing.assert_allclose(lp.b_eq, small_instance.volumes)
+
+    def test_extract_helpers(self, small_instance):
+        lp = build_ordered_lp(small_instance, [0, 1, 2, 3])
+        solution = solve_with_scipy(lp)
+        C = lp.extract_completion_times(solution.x)
+        assert np.all(np.diff(C) >= -1e-9)
+        rates = lp.extract_rates(solution.x)
+        assert rates.shape == (4, 4)
+
+
+class TestSimplexSolver:
+    def test_simple_minimization(self):
+        # min -x - y s.t. x + y <= 1, x, y >= 0 -> optimum -1.
+        result = solve_linear_program(
+            c=np.array([-1.0, -1.0]),
+            A_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.0]),
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_equality_constraints(self):
+        # min x + 2y s.t. x + y = 2 -> x = 2, y = 0.
+        result = solve_linear_program(
+            c=np.array([1.0, 2.0]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+        np.testing.assert_allclose(result.x, [2.0, 0.0], atol=1e-9)
+
+    def test_infeasible(self):
+        # x <= -1 with x >= 0 is infeasible.
+        result = solve_linear_program(
+            c=np.array([1.0]), A_ub=np.array([[1.0]]), b_ub=np.array([-1.0]),
+            A_eq=np.array([[1.0]]), b_eq=np.array([5.0]),
+        )
+        assert result.status == "infeasible"
+
+    def test_unbounded(self):
+        result = solve_linear_program(c=np.array([-1.0]))
+        assert result.status == "unbounded"
+
+    def test_negative_rhs_inequality(self):
+        # -x <= -2  <=>  x >= 2; min x -> 2.
+        result = solve_linear_program(
+            c=np.array([1.0]), A_ub=np.array([[-1.0]]), b_ub=np.array([-2.0])
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(SolverError):
+            solve_linear_program(c=np.array([1.0, 2.0]), A_ub=np.ones((1, 3)), b_ub=np.ones(1))
+
+    def test_matches_scipy_on_random_lps(self, rng):
+        from scipy.optimize import linprog
+
+        for _ in range(10):
+            nvar, m = 4, 3
+            c = rng.normal(size=nvar)
+            A = rng.normal(size=(m, nvar))
+            b = rng.uniform(0.5, 2.0, size=m)
+            ours = solve_linear_program(c, A_ub=A, b_ub=b)
+            ref = linprog(c, A_ub=A, b_ub=b, bounds=[(0, None)] * nvar, method="highs")
+            if ref.status == 3:
+                assert ours.status == "unbounded"
+            else:
+                assert ours.is_optimal
+                assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+
+
+class TestOrderedRelaxation:
+    def test_backends_agree(self, rng):
+        for _ in range(5):
+            inst = random_instance(rng, n=3)
+            order = list(rng.permutation(3))
+            a = solve_ordered_relaxation(inst, order, backend="scipy")
+            b = solve_ordered_relaxation(inst, order, backend="simplex")
+            assert a.objective == pytest.approx(b.objective, rel=1e-6, abs=1e-9)
+
+    def test_schedule_is_valid(self, small_instance):
+        solution = solve_ordered_relaxation(small_instance, small_instance.smith_order())
+        validate_column_schedule(solution.schedule)
+
+    def test_schedule_completion_order_matches(self, small_instance):
+        order = small_instance.smith_order()
+        solution = solve_ordered_relaxation(small_instance, order)
+        assert solution.schedule.order == tuple(order)
+
+    def test_uncapped_instance_matches_smith(self, uncapped_instance):
+        # With delta_i = P, the best ordering LP value equals the squashed
+        # area bound (Smith's rule), and the Smith ordering achieves it.
+        solution = solve_ordered_relaxation(uncapped_instance, uncapped_instance.smith_order())
+        assert solution.objective == pytest.approx(
+            squashed_area_bound(uncapped_instance), rel=1e-6
+        )
+
+    def test_best_order_is_at_least_lower_bounds(self, small_instance):
+        best = min(
+            solve_ordered_relaxation(small_instance, order, build_schedule=False).objective
+            for order in itertools.permutations(range(small_instance.n))
+        )
+        assert best >= squashed_area_bound(small_instance) - 1e-9
+
+    def test_build_schedule_false_skips_reconstruction(self, small_instance):
+        solution = solve_ordered_relaxation(
+            small_instance, small_instance.smith_order(), build_schedule=False
+        )
+        assert solution.schedule is None
+        assert solution.objective > 0
+
+    def test_empty_instance(self):
+        empty = Instance(P=1, tasks=[])
+        solution = solve_ordered_relaxation(empty, [])
+        assert solution.objective == 0.0
+
+    def test_single_task_value(self):
+        inst = Instance(P=4, tasks=[Task(volume=6, weight=2, delta=3)])
+        solution = solve_ordered_relaxation(inst, [0])
+        assert solution.objective == pytest.approx(2 * 2.0)
+
+    def test_unknown_backend(self, small_instance):
+        with pytest.raises(SolverError):
+            solve_ordered_relaxation(small_instance, small_instance.smith_order(), backend="bogus")

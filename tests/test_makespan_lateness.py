@@ -1,0 +1,97 @@
+"""Tests for the makespan and maximum-lateness solvers (Table I rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.objectives import max_lateness
+from repro.core.validation import validate_column_schedule
+from repro.algorithms.lateness import deadlines_feasible, minimize_max_lateness
+from repro.algorithms.makespan import makespan_schedule, minimal_makespan
+from tests.conftest import random_instance
+
+
+class TestMakespan:
+    def test_work_bound_dominates(self):
+        inst = Instance(P=2, tasks=[Task(4, delta=2), Task(4, delta=2)])
+        assert minimal_makespan(inst) == pytest.approx(4.0)
+
+    def test_height_bound_dominates(self):
+        inst = Instance(P=8, tasks=[Task(4, delta=1), Task(1, delta=8)])
+        assert minimal_makespan(inst) == pytest.approx(4.0)
+
+    def test_schedule_achieves_optimum_and_is_valid(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng, n=5, P=3.0)
+            sched = makespan_schedule(inst)
+            validate_column_schedule(sched)
+            assert sched.makespan() == pytest.approx(minimal_makespan(inst))
+
+    def test_empty_instance(self):
+        inst = Instance(P=1, tasks=[])
+        assert minimal_makespan(inst) == 0.0
+        assert makespan_schedule(inst).n == 0
+
+    def test_makespan_is_a_true_lower_bound(self, rng):
+        """No valid schedule can beat the closed form (checked via WF feasibility)."""
+        from repro.algorithms.water_filling import water_filling_schedule
+        from repro.core.exceptions import InfeasibleScheduleError
+
+        for _ in range(5):
+            inst = random_instance(rng, n=4, P=2.0)
+            cmax = minimal_makespan(inst)
+            with pytest.raises(InfeasibleScheduleError):
+                water_filling_schedule(inst, np.full(inst.n, cmax * 0.95))
+            # At the optimum itself the deadlines are feasible.
+            validate_column_schedule(
+                water_filling_schedule(inst, np.full(inst.n, cmax * (1 + 1e-9)))
+            )
+
+
+class TestLateness:
+    def test_feasibility_helper(self):
+        inst = Instance(P=2, tasks=[Task(2, delta=1), Task(2, delta=2)])
+        assert deadlines_feasible(inst, [2.0, 2.0])
+        assert not deadlines_feasible(inst, [1.0, 1.0])
+
+    def test_single_task(self):
+        inst = Instance(P=2, tasks=[Task(volume=2, delta=1)])
+        result = minimize_max_lateness(inst, deadlines=[1.0])
+        assert result.lateness == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_lateness_when_deadlines_loose(self):
+        # Both unit tasks can finish at t = 1, so with deadlines at 5 the
+        # optimal maximum lateness is exactly -4.
+        inst = Instance(P=2, tasks=[Task(1, delta=1), Task(1, delta=1)])
+        result = minimize_max_lateness(inst, deadlines=[5.0, 5.0])
+        assert result.lateness == pytest.approx(-4.0, abs=1e-6)
+
+    def test_result_schedule_achieves_reported_lateness(self, rng):
+        for _ in range(5):
+            inst = random_instance(rng, n=4, P=2.0)
+            deadlines = rng.uniform(0.5, 2.0, inst.n)
+            result = minimize_max_lateness(inst, deadlines)
+            validate_column_schedule(result.schedule)
+            achieved = max_lateness(
+                inst, result.schedule.completion_times_by_task(), deadlines
+            )
+            assert achieved <= result.lateness + 1e-6
+
+    def test_lateness_is_minimal(self, rng):
+        """Slightly tightening the returned lateness makes the deadlines infeasible."""
+        for _ in range(5):
+            inst = random_instance(rng, n=4, P=2.0)
+            deadlines = rng.uniform(0.5, 2.0, inst.n)
+            result = minimize_max_lateness(inst, deadlines, tolerance=1e-9)
+            assert not deadlines_feasible(inst, np.asarray(deadlines) + result.lateness - 1e-3)
+
+    def test_wrong_deadline_count(self, small_instance):
+        with pytest.raises(InvalidScheduleError):
+            minimize_max_lateness(small_instance, [1.0])
+
+    def test_empty_instance(self):
+        result = minimize_max_lateness(Instance(P=1, tasks=[]), [])
+        assert result.lateness == 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for the objective functions (repro.core.objectives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.objectives import (
+    makespan,
+    max_lateness,
+    total_completion_time,
+    weighted_completion_time,
+    weighted_flow_time,
+    weighted_throughput,
+)
+
+
+@pytest.fixture
+def instance() -> Instance:
+    return Instance(P=2, tasks=[Task(1, weight=2), Task(2, weight=3), Task(3, weight=1)])
+
+
+class TestWeightedCompletionTime:
+    def test_value(self, instance):
+        assert weighted_completion_time(instance, [1, 2, 3]) == pytest.approx(2 + 6 + 3)
+
+    def test_shape_checked(self, instance):
+        with pytest.raises(InvalidScheduleError):
+            weighted_completion_time(instance, [1, 2])
+
+    def test_negative_rejected(self, instance):
+        with pytest.raises(InvalidScheduleError):
+            weighted_completion_time(instance, [1, -2, 3])
+
+
+class TestOtherObjectives:
+    def test_total_completion_time(self, instance):
+        assert total_completion_time(instance, [1, 2, 3]) == pytest.approx(6)
+
+    def test_makespan(self, instance):
+        assert makespan(instance, [1, 5, 3]) == pytest.approx(5)
+
+    def test_makespan_empty(self):
+        empty = Instance(P=1, tasks=[])
+        assert makespan(empty, []) == 0.0
+
+    def test_max_lateness(self, instance):
+        assert max_lateness(instance, [1, 5, 3], deadlines=[2, 2, 2]) == pytest.approx(3)
+
+    def test_max_lateness_negative_when_all_early(self, instance):
+        assert max_lateness(instance, [1, 1, 1], deadlines=[4, 4, 4]) == pytest.approx(-3)
+
+    def test_max_lateness_shape_check(self, instance):
+        with pytest.raises(InvalidScheduleError):
+            max_lateness(instance, [1, 2, 3], deadlines=[1])
+
+    def test_weighted_throughput_equivalence(self, instance):
+        # sum w_i (T - C_i) = T * sum(w) - sum(w C): maximising it is the same
+        # as minimising the weighted completion time.
+        T = 10.0
+        completions = [1, 2, 3]
+        expected = T * instance.total_weight - weighted_completion_time(instance, completions)
+        assert weighted_throughput(instance, completions, T) == pytest.approx(expected)
+
+    def test_weighted_flow_time_defaults_to_completion_time(self, instance):
+        assert weighted_flow_time(instance, [1, 2, 3]) == pytest.approx(
+            weighted_completion_time(instance, [1, 2, 3])
+        )
+
+    def test_weighted_flow_time_with_releases(self, instance):
+        value = weighted_flow_time(instance, [2, 3, 4], release_times=[1, 1, 1])
+        assert value == pytest.approx(2 * 1 + 3 * 2 + 1 * 3)
+
+    def test_weighted_flow_time_release_shape(self, instance):
+        with pytest.raises(InvalidScheduleError):
+            weighted_flow_time(instance, [1, 2, 3], release_times=[1])

@@ -1,0 +1,113 @@
+"""Tests for the integer conversion and preemption accounting (Theorems 9-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.validation import validate_processor_assignment
+from repro.algorithms.preemption import (
+    assign_processors,
+    integer_allocation_change_count,
+    integer_allocation_profile,
+)
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.analysis.preemptions import preemption_report
+from tests.conftest import random_instance
+
+
+def wf_from_wdeq(instance):
+    completions = wdeq_schedule(instance).completion_times_by_task()
+    return water_filling_schedule(instance, completions)
+
+
+class TestIntegerProfile:
+    def test_counts_respect_platform(self, rng):
+        for _ in range(8):
+            inst = random_instance(rng, n=6, P=4.0, integer=True)
+            profile = integer_allocation_profile(wf_from_wdeq(inst))
+            totals = profile.counts.sum(axis=0)
+            assert np.all(totals <= profile.num_processors)
+
+    def test_volumes_preserved(self, rng):
+        for _ in range(8):
+            inst = random_instance(rng, n=6, P=4.0, integer=True)
+            profile = integer_allocation_profile(wf_from_wdeq(inst))
+            volumes = profile.counts @ profile.interval_lengths()
+            np.testing.assert_allclose(volumes, inst.volumes, rtol=1e-6, atol=1e-6)
+
+    def test_counts_within_floor_ceil_of_caps(self, rng):
+        for _ in range(8):
+            inst = random_instance(rng, n=5, P=4.0, integer=True)
+            profile = integer_allocation_profile(wf_from_wdeq(inst))
+            for i in range(inst.n):
+                assert profile.counts[i].max(initial=0) <= int(np.ceil(inst.deltas[i] + 1e-9))
+
+    def test_non_integer_platform_rejected(self):
+        inst = Instance(P=2.5, tasks=[Task(1, 1, 1)])
+        sched = wdeq_schedule(inst)
+        with pytest.raises(InvalidScheduleError):
+            integer_allocation_profile(sched)
+
+    def test_change_count_nonnegative_and_linear_in_n(self, rng):
+        inst = random_instance(rng, n=6, P=4.0, integer=True)
+        sched = wf_from_wdeq(inst)
+        changes = integer_allocation_change_count(sched)
+        assert changes >= 0
+
+
+class TestStickyAssignment:
+    def test_assignment_is_valid(self, rng):
+        for _ in range(6):
+            inst = random_instance(rng, n=5, P=4.0, integer=True)
+            sched = wf_from_wdeq(inst)
+            assignment = assign_processors(sched)
+            validate_processor_assignment(assignment)
+
+    def test_tasks_never_finish_late(self, rng):
+        for _ in range(6):
+            inst = random_instance(rng, n=5, P=4.0, integer=True)
+            sched = wf_from_wdeq(inst)
+            assignment = assign_processors(sched)
+            lateness = assignment.completion_times() - sched.completion_times_by_task()
+            assert float(np.max(lateness)) <= 1e-6
+
+    def test_single_task_no_preemption(self):
+        inst = Instance(P=2, tasks=[Task(volume=2, delta=2)])
+        sched = water_filling_schedule(inst, [1.0])
+        assignment = assign_processors(sched)
+        assert assignment.count_preemptions() == 0
+
+    def test_sequential_tasks_no_preemption(self):
+        inst = Instance(P=1, tasks=[Task(1, 1, 1), Task(1, 1, 1)])
+        sched = water_filling_schedule(inst, [1.0, 2.0])
+        assignment = assign_processors(sched)
+        assert assignment.count_preemptions() == 0
+
+
+class TestPreemptionReport:
+    def test_report_bounds_hold(self, rng):
+        for _ in range(6):
+            n = int(rng.integers(2, 8))
+            inst = random_instance(rng, n=n, P=4.0, integer=True)
+            completions = wdeq_schedule(inst).completion_times_by_task()
+            report = preemption_report(inst, completions)
+            assert report.n == n
+            assert report.fractional_bound == n
+            assert report.integer_bound == 3 * n
+            # Theorem 9 (paper accounting) must hold; the raw count may add at
+            # most one change per task (the entry into saturation).
+            assert report.fractional_changes <= n
+            assert report.fractional_changes_raw <= 2 * n
+            assert report.within_bounds
+
+    def test_report_counts_consistency(self, rng):
+        inst = random_instance(rng, n=6, P=4.0, integer=True)
+        completions = wdeq_schedule(inst).completion_times_by_task()
+        report = preemption_report(inst, completions)
+        assert report.fractional_changes <= report.fractional_changes_raw
+        assert report.preemptions >= 0
+        assert report.migrations >= 0

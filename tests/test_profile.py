@@ -1,0 +1,93 @@
+"""Tests for the capacity profile used by the greedy scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.profile import CapacityProfile
+from repro.core.exceptions import InvalidScheduleError, SimulationError
+
+
+class TestCapacityProfile:
+    def test_initial_capacity(self):
+        profile = CapacityProfile(3.0)
+        assert profile.capacity_at(0.0) == 3.0
+        assert profile.capacity_at(100.0) == 3.0
+        assert profile.capacity_at(-1.0) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidScheduleError):
+            CapacityProfile(0.0)
+
+    def test_allocate_full_speed(self):
+        profile = CapacityProfile(2.0)
+        result = profile.allocate_greedily(volume=4.0, delta=2.0)
+        assert result.completion_time == pytest.approx(2.0)
+        assert result.volume() == pytest.approx(4.0)
+        assert profile.capacity_at(1.0) == pytest.approx(0.0)
+        assert profile.capacity_at(3.0) == pytest.approx(2.0)
+
+    def test_allocate_respects_delta(self):
+        profile = CapacityProfile(4.0)
+        result = profile.allocate_greedily(volume=2.0, delta=1.0)
+        assert result.completion_time == pytest.approx(2.0)
+        assert profile.capacity_at(1.0) == pytest.approx(3.0)
+
+    def test_second_task_uses_leftover_then_more(self):
+        profile = CapacityProfile(2.0)
+        profile.allocate_greedily(volume=2.0, delta=1.0)  # occupies 1 proc until t=2
+        result = profile.allocate_greedily(volume=3.0, delta=2.0)
+        # rate 1 until t=2 (volume 2), then rate 2: completes at 2.5.
+        assert result.completion_time == pytest.approx(2.5)
+        assert result.volume() == pytest.approx(3.0)
+
+    def test_release_time_delays_start(self):
+        profile = CapacityProfile(1.0)
+        result = profile.allocate_greedily(volume=1.0, delta=1.0, release_time=2.0)
+        assert result.completion_time == pytest.approx(3.0)
+        assert result.pieces[0][0] == pytest.approx(2.0)
+
+    def test_zero_volume(self):
+        profile = CapacityProfile(1.0)
+        result = profile.allocate_greedily(volume=0.0, delta=1.0, release_time=1.5)
+        assert result.completion_time == pytest.approx(1.5)
+        assert result.pieces == ()
+
+    def test_invalid_delta(self):
+        profile = CapacityProfile(1.0)
+        with pytest.raises(InvalidScheduleError):
+            profile.allocate_greedily(volume=1.0, delta=0.0)
+
+    def test_reserve_underflow_detected(self):
+        profile = CapacityProfile(1.0)
+        with pytest.raises(SimulationError):
+            profile.reserve(0.0, 1.0, 2.0)
+
+    def test_free_area_before(self):
+        profile = CapacityProfile(2.0)
+        profile.allocate_greedily(volume=2.0, delta=2.0)  # busy on [0, 1]
+        assert profile.free_area_before(1.0) == pytest.approx(0.0)
+        assert profile.free_area_before(2.0) == pytest.approx(2.0)
+        assert profile.free_area_before(2.0, cap=1.0) == pytest.approx(1.0)
+
+    def test_copy_is_independent(self):
+        profile = CapacityProfile(2.0)
+        clone = profile.copy()
+        profile.allocate_greedily(volume=2.0, delta=2.0)
+        assert clone.capacity_at(0.5) == pytest.approx(2.0)
+        assert profile.capacity_at(0.5) == pytest.approx(0.0)
+
+    def test_repr(self):
+        assert "CapacityProfile" in repr(CapacityProfile(1.0))
+
+    def test_many_allocations_keep_consistency(self, rng):
+        profile = CapacityProfile(4.0)
+        total = 0.0
+        for _ in range(30):
+            volume = float(rng.uniform(0.1, 2.0))
+            delta = float(rng.uniform(0.2, 4.0))
+            result = profile.allocate_greedily(volume=volume, delta=delta)
+            assert result.volume() == pytest.approx(volume, rel=1e-9)
+            total += volume
+            # Capacity never negative anywhere.
+            assert all(c >= -1e-9 for c in profile.capacities)

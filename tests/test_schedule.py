@@ -1,0 +1,209 @@
+"""Unit tests for the schedule representations (repro.core.schedule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InvalidScheduleError
+from repro.core.schedule import (
+    ColumnSchedule,
+    ContinuousSchedule,
+    ProcessorAssignment,
+    ProcessorSegment,
+)
+
+
+@pytest.fixture
+def simple_column_schedule() -> ColumnSchedule:
+    """P=2; T0 (V=2, delta=2) then T1 (V=2, delta=2).
+
+    Column 0 = [0, 1]: T0 at rate 2.  Column 1 = [1, 2]: T1 at rate 2.
+    """
+    inst = Instance(P=2, tasks=[Task(2, 1, 2), Task(2, 1, 2)])
+    rates = np.array([[2.0, 0.0], [0.0, 2.0]])
+    return ColumnSchedule(inst, order=[0, 1], completion_times=[1.0, 2.0], rates=rates)
+
+
+class TestColumnSchedule:
+    def test_geometry(self, simple_column_schedule):
+        sched = simple_column_schedule
+        np.testing.assert_allclose(sched.column_lengths, [1.0, 1.0])
+        assert sched.column_bounds(0) == (0.0, 1.0)
+        assert sched.column_bounds(1) == (1.0, 2.0)
+        assert sched.position_of(0) == 0
+        assert sched.position_of(1) == 1
+
+    def test_objectives(self, simple_column_schedule):
+        sched = simple_column_schedule
+        np.testing.assert_allclose(sched.completion_times_by_task(), [1.0, 2.0])
+        assert sched.weighted_completion_time() == pytest.approx(3.0)
+        assert sched.total_completion_time() == pytest.approx(3.0)
+        assert sched.makespan() == pytest.approx(2.0)
+
+    def test_processed_volumes_and_loads(self, simple_column_schedule):
+        sched = simple_column_schedule
+        np.testing.assert_allclose(sched.processed_volumes(), [2.0, 2.0])
+        np.testing.assert_allclose(sched.column_loads(), [2.0, 2.0])
+
+    def test_saturation_matrix(self, simple_column_schedule):
+        sat = simple_column_schedule.saturation_matrix()
+        assert sat[0, 0] and sat[1, 1]
+        assert not sat[0, 1] and not sat[1, 0]
+
+    def test_order_must_be_permutation(self, simple_column_schedule):
+        inst = simple_column_schedule.instance
+        with pytest.raises(InvalidScheduleError):
+            ColumnSchedule(inst, [0, 0], [1.0, 2.0], np.zeros((2, 2)))
+
+    def test_completion_times_must_be_sorted(self, simple_column_schedule):
+        inst = simple_column_schedule.instance
+        with pytest.raises(InvalidScheduleError):
+            ColumnSchedule(inst, [0, 1], [2.0, 1.0], np.zeros((2, 2)))
+
+    def test_completion_times_must_be_nonnegative(self, simple_column_schedule):
+        inst = simple_column_schedule.instance
+        with pytest.raises(InvalidScheduleError):
+            ColumnSchedule(inst, [0, 1], [-1.0, 1.0], np.zeros((2, 2)))
+
+    def test_rates_shape_checked(self, simple_column_schedule):
+        inst = simple_column_schedule.instance
+        with pytest.raises(InvalidScheduleError):
+            ColumnSchedule(inst, [0, 1], [1.0, 2.0], np.zeros((2, 3)))
+
+    def test_rates_are_copied_and_read_only(self, simple_column_schedule):
+        with pytest.raises(ValueError):
+            simple_column_schedule.rates[0, 0] = 99
+
+    def test_allocation_change_count_constant_rates(self, simple_column_schedule):
+        assert simple_column_schedule.allocation_change_count() == 0
+        assert simple_column_schedule.allocation_change_count(convention="all") == 0
+
+    def test_allocation_change_count_paper_vs_all(self):
+        # Task 0 runs at 1.0 (unsaturated, delta=3) then jumps to 3.0 = delta:
+        # the "all" convention counts the jump, the paper convention does not.
+        inst = Instance(P=4, tasks=[Task(4, 1, 3), Task(1, 1, 1)])
+        rates = np.array([[1.0, 3.0], [1.0, 0.0]])
+        sched = ColumnSchedule(inst, [1, 0], [1.0, 2.0], rates)
+        assert sched.allocation_change_count(convention="all") == 1
+        assert sched.allocation_change_count(convention="paper") == 0
+
+    def test_allocation_change_count_unknown_convention(self, simple_column_schedule):
+        with pytest.raises(InvalidScheduleError):
+            simple_column_schedule.allocation_change_count(convention="bogus")
+
+    def test_repr(self, simple_column_schedule):
+        assert "ColumnSchedule" in repr(simple_column_schedule)
+
+    def test_empty_schedule(self):
+        inst = Instance(P=1, tasks=[])
+        sched = ColumnSchedule(inst, [], [], np.zeros((0, 0)))
+        assert sched.makespan() == 0.0
+        assert sched.weighted_completion_time() == 0.0
+
+
+class TestContinuousSchedule:
+    def test_completion_times(self):
+        inst = Instance(P=2, tasks=[Task(2, 1, 2), Task(1, 1, 1)])
+        sched = ContinuousSchedule(
+            inst, [0.0, 1.0, 2.0], np.array([[1.0, 1.0], [1.0, 0.0]])
+        )
+        np.testing.assert_allclose(sched.completion_times(), [2.0, 1.0])
+        np.testing.assert_allclose(sched.processed_volumes(), [2.0, 1.0])
+        assert sched.makespan() == pytest.approx(2.0)
+        assert sched.weighted_completion_time() == pytest.approx(3.0)
+
+    def test_rate_at(self):
+        inst = Instance(P=2, tasks=[Task(2, 1, 2)])
+        sched = ContinuousSchedule(inst, [0.0, 1.0, 2.0], np.array([[2.0, 0.5]]))
+        assert sched.rate_at(0, 0.5) == pytest.approx(2.0)
+        assert sched.rate_at(0, 1.5) == pytest.approx(0.5)
+        assert sched.rate_at(0, -1.0) == 0.0
+        assert sched.rate_at(0, 5.0) == 0.0
+
+    def test_breakpoints_validation(self):
+        inst = Instance(P=1, tasks=[Task(1)])
+        with pytest.raises(InvalidScheduleError):
+            ContinuousSchedule(inst, [1.0, 2.0], np.ones((1, 1)))
+        with pytest.raises(InvalidScheduleError):
+            ContinuousSchedule(inst, [0.0, 0.0, 1.0], np.ones((1, 2)))
+        with pytest.raises(InvalidScheduleError):
+            ContinuousSchedule(inst, [0.0, 1.0], np.ones((2, 1)))
+
+    def test_interval_lengths(self):
+        inst = Instance(P=1, tasks=[Task(1)])
+        sched = ContinuousSchedule(inst, [0.0, 0.25, 1.0], np.array([[1.0, 1.0]]))
+        np.testing.assert_allclose(sched.interval_lengths, [0.25, 0.75])
+
+    def test_repr(self):
+        inst = Instance(P=1, tasks=[Task(1)])
+        sched = ContinuousSchedule(inst, [0.0, 1.0], np.array([[1.0]]))
+        assert "ContinuousSchedule" in repr(sched)
+
+
+class TestProcessorAssignment:
+    def _assignment(self) -> ProcessorAssignment:
+        inst = Instance(P=2, tasks=[Task(2, 1, 2), Task(1, 1, 1)])
+        segments = [
+            [ProcessorSegment(0.0, 1.0, 0), ProcessorSegment(1.0, 2.0, 1)],
+            [ProcessorSegment(0.0, 1.0, 0)],
+        ]
+        return ProcessorAssignment(inst, 2, segments)
+
+    def test_completion_and_volumes(self):
+        pa = self._assignment()
+        np.testing.assert_allclose(pa.completion_times(), [1.0, 2.0])
+        np.testing.assert_allclose(pa.processed_volumes(), [2.0, 1.0])
+        assert pa.makespan() == pytest.approx(2.0)
+        assert pa.weighted_completion_time() == pytest.approx(3.0)
+
+    def test_task_segments(self):
+        pa = self._assignment()
+        segs = pa.task_segments(0)
+        assert len(segs) == 2
+        assert {p for p, _ in segs} == {0, 1}
+
+    def test_max_simultaneous(self):
+        pa = self._assignment()
+        assert pa.max_simultaneous_processors(0) == 2
+        assert pa.max_simultaneous_processors(1) == 1
+
+    def test_no_preemptions_when_tasks_run_to_completion(self):
+        pa = self._assignment()
+        assert pa.count_preemptions() == 0
+        assert pa.count_migrations() == 0
+
+    def test_preemption_counted(self):
+        inst = Instance(P=1, tasks=[Task(2, 1, 1), Task(1, 1, 1)])
+        segments = [
+            [
+                ProcessorSegment(0.0, 1.0, 0),
+                ProcessorSegment(1.0, 2.0, 1),
+                ProcessorSegment(2.0, 3.0, 0),
+            ]
+        ]
+        pa = ProcessorAssignment(inst, 1, segments)
+        # Task 0 is interrupted at t=1 and resumes at t=2 -> one preemption.
+        assert pa.count_preemptions() == 1
+
+    def test_contiguous_segments_merged_before_counting(self):
+        inst = Instance(P=1, tasks=[Task(2, 1, 1)])
+        segments = [[ProcessorSegment(0.0, 1.0, 0), ProcessorSegment(1.0, 2.0, 0)]]
+        pa = ProcessorAssignment(inst, 1, segments)
+        assert pa.count_preemptions() == 0
+
+    def test_invalid_segment_rejected(self):
+        inst = Instance(P=1, tasks=[Task(1)])
+        with pytest.raises(InvalidScheduleError):
+            ProcessorAssignment(inst, 1, [[ProcessorSegment(1.0, 0.5, 0)]])
+        with pytest.raises(InvalidScheduleError):
+            ProcessorAssignment(inst, 1, [[ProcessorSegment(0.0, 1.0, 7)]])
+
+    def test_segment_list_length_checked(self):
+        inst = Instance(P=1, tasks=[Task(1)])
+        with pytest.raises(InvalidScheduleError):
+            ProcessorAssignment(inst, 2, [[]])
+
+    def test_repr(self):
+        assert "ProcessorAssignment" in repr(self._assignment())

@@ -1,0 +1,145 @@
+"""Tests for the schedule validity checkers (repro.core.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.core.exceptions import InfeasibleScheduleError
+from repro.core.schedule import (
+    ColumnSchedule,
+    ContinuousSchedule,
+    ProcessorAssignment,
+    ProcessorSegment,
+)
+from repro.core.validation import (
+    check_column_schedule,
+    check_continuous_schedule,
+    check_processor_assignment,
+    validate_column_schedule,
+    validate_continuous_schedule,
+    validate_processor_assignment,
+)
+
+
+@pytest.fixture
+def instance() -> Instance:
+    return Instance(P=2, tasks=[Task(2, 1, 1), Task(2, 1, 2)])
+
+
+def make_column(instance, rates, completions=(2.0, 2.0), order=(0, 1)):
+    return ColumnSchedule(instance, list(order), list(completions), np.asarray(rates, float))
+
+
+class TestColumnChecks:
+    def test_valid_schedule_passes(self, instance):
+        sched = make_column(instance, [[1.0, 0.0], [1.0, 0.0]])
+        assert check_column_schedule(sched) == []
+        validate_column_schedule(sched)  # must not raise
+
+    def test_cap_violation_detected(self, instance):
+        sched = make_column(instance, [[1.5, 0.0], [0.5, 0.0]], completions=(4 / 3, 4 / 3 + 1))
+        # Task 0 (delta = 1) at rate 1.5 exceeds its cap.
+        violations = check_column_schedule(sched)
+        assert any("delta" in v for v in violations)
+
+    def test_capacity_violation_detected(self, instance):
+        sched = make_column(instance, [[1.0, 0.0], [2.0, 0.0]], completions=(1.5, 2.0))
+        violations = check_column_schedule(sched)
+        assert any("P=" in v for v in violations)
+
+    def test_volume_mismatch_detected(self, instance):
+        sched = make_column(instance, [[0.5, 0.0], [1.0, 0.0]])
+        violations = check_column_schedule(sched)
+        assert any("processed volume" in v for v in violations)
+
+    def test_allocation_after_completion_detected(self, instance):
+        # Task 0 completes at the end of column 0 but still gets resources in column 1.
+        rates = np.array([[0.75, 0.5], [1.0, 1.0]])
+        sched = ColumnSchedule(instance, [0, 1], [1.0, 2.0], rates)
+        violations = check_column_schedule(sched)
+        assert any("after its completion" in v for v in violations)
+
+    def test_negative_rate_detected(self, instance):
+        sched = make_column(instance, [[-0.5, 1.5], [1.0, 0.0]])
+        assert any("negative" in v for v in check_column_schedule(sched))
+
+    def test_validate_raises(self, instance):
+        sched = make_column(instance, [[0.5, 0.0], [1.0, 0.0]])
+        with pytest.raises(InfeasibleScheduleError):
+            validate_column_schedule(sched)
+
+    def test_empty_schedule_is_valid(self):
+        inst = Instance(P=1, tasks=[])
+        sched = ColumnSchedule(inst, [], [], np.zeros((0, 0)))
+        assert check_column_schedule(sched) == []
+
+
+class TestContinuousChecks:
+    def test_valid(self, instance):
+        sched = ContinuousSchedule(instance, [0.0, 2.0], np.array([[1.0], [1.0]]))
+        assert check_continuous_schedule(sched) == []
+        validate_continuous_schedule(sched)
+
+    def test_cap_violation(self, instance):
+        sched = ContinuousSchedule(instance, [0.0, 1.0, 2.0], np.array([[2.0, 0.0], [1.0, 1.0]]))
+        assert any("cap" in v for v in check_continuous_schedule(sched))
+
+    def test_capacity_violation(self, instance):
+        sched = ContinuousSchedule(instance, [0.0, 1.0, 2.0], np.array([[1.0, 1.0], [2.0, 0.0]]))
+        assert any("P=" in v for v in check_continuous_schedule(sched))
+
+    def test_volume_mismatch(self, instance):
+        sched = ContinuousSchedule(instance, [0.0, 1.0], np.array([[1.0], [1.0]]))
+        violations = check_continuous_schedule(sched)
+        assert any("processed volume" in v for v in violations)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_continuous_schedule(sched)
+
+
+class TestProcessorAssignmentChecks:
+    def test_valid(self, instance):
+        pa = ProcessorAssignment(
+            instance,
+            2,
+            [
+                [ProcessorSegment(0.0, 2.0, 0)],
+                [ProcessorSegment(0.0, 2.0, 1)],
+            ],
+        )
+        assert check_processor_assignment(pa) == []
+        validate_processor_assignment(pa)
+
+    def test_overlap_detected(self, instance):
+        pa = ProcessorAssignment(
+            instance,
+            2,
+            [
+                [ProcessorSegment(0.0, 1.5, 0), ProcessorSegment(1.0, 3.0, 1)],
+                [ProcessorSegment(0.0, 0.5, 0), ProcessorSegment(1.0, 2.0, 1)],
+            ],
+        )
+        assert any("overlap" in v for v in check_processor_assignment(pa))
+
+    def test_volume_mismatch_detected(self, instance):
+        pa = ProcessorAssignment(
+            instance,
+            2,
+            [[ProcessorSegment(0.0, 1.0, 0)], [ProcessorSegment(0.0, 2.0, 1)]],
+        )
+        assert any("processed volume" in v for v in check_processor_assignment(pa))
+
+    def test_simultaneous_cap_detected(self, instance):
+        # Task 0 has delta = 1 but runs on both processors simultaneously.
+        pa = ProcessorAssignment(
+            instance,
+            2,
+            [
+                [ProcessorSegment(0.0, 1.0, 0), ProcessorSegment(1.0, 2.0, 1)],
+                [ProcessorSegment(0.0, 1.0, 0), ProcessorSegment(1.0, 2.0, 1)],
+            ],
+        )
+        assert any("simultaneous" in v for v in check_processor_assignment(pa))
+        with pytest.raises(InfeasibleScheduleError):
+            validate_processor_assignment(pa)

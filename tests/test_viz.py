@@ -1,0 +1,70 @@
+"""Tests for the text Gantt charts and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, Task
+from repro.algorithms.preemption import assign_processors
+from repro.algorithms.water_filling import water_filling_schedule
+from repro.algorithms.wdeq import wdeq_schedule
+from repro.core.schedule import ColumnSchedule
+from repro.viz.gantt import render_allocation_chart, render_processor_gantt
+from repro.viz.tables import format_markdown_table, format_table
+
+
+@pytest.fixture
+def instance() -> Instance:
+    return Instance(P=2, tasks=[Task(2, 1, 1, name="alpha"), Task(2, 1, 2, name="beta")])
+
+
+class TestGantt:
+    def test_allocation_chart_contains_task_symbols(self, instance):
+        sched = wdeq_schedule(instance)
+        chart = render_allocation_chart(sched, width=40)
+        assert "A" in chart and "B" in chart
+        assert "alpha" in chart and "beta" in chart
+
+    def test_allocation_chart_from_continuous(self, instance):
+        sched = wdeq_schedule(instance).to_continuous()
+        chart = render_allocation_chart(sched, width=30, height=4)
+        assert len(chart.splitlines()) >= 5
+
+    def test_empty_schedule(self):
+        inst = Instance(P=1, tasks=[])
+        sched = ColumnSchedule(inst, [], [], np.zeros((0, 0)))
+        assert "empty" in render_allocation_chart(sched)
+
+    def test_processor_gantt(self, instance):
+        sched = water_filling_schedule(instance, wdeq_schedule(instance).completion_times_by_task())
+        assignment = assign_processors(sched)
+        chart = render_processor_gantt(assignment, width=40)
+        assert chart.count("P1") == 1 and chart.count("P2") == 1
+
+    def test_many_tasks_legend_truncated(self):
+        inst = Instance(P=4, tasks=[Task(1, 1, 1) for _ in range(15)])
+        chart = render_allocation_chart(wdeq_schedule(inst), width=30)
+        assert "..." in chart
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], ["xyz", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "-" in lines[1]
+
+    def test_format_table_floats_rounded(self):
+        text = format_table(["x"], [[1.23456789]])
+        assert "1.23457" in text
+
+    def test_markdown_table(self):
+        md = format_markdown_table(["col1", "col2"], [[1, 2], [3, 4]])
+        assert md.splitlines()[0] == "| col1 | col2 |"
+        assert "|---|---|" in md
+
+    def test_markdown_table_pads_missing_cells(self):
+        md = format_markdown_table(["a", "b", "c"], [[1, 2]])
+        assert md.splitlines()[-1].count("|") == 4

@@ -1,0 +1,114 @@
+"""Tests for the workload generators and suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    WORKLOAD_SUITES,
+    bandwidth_scenario_instances,
+    cluster_instances,
+    constant_weight_instances,
+    constant_weight_volume_instances,
+    get_suite,
+    homogeneous_halfdelta_deltas,
+    homogeneous_halfdelta_instances,
+    large_delta_instances,
+    uniform_instances,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            uniform_instances,
+            constant_weight_instances,
+            constant_weight_volume_instances,
+            large_delta_instances,
+            homogeneous_halfdelta_instances,
+            cluster_instances,
+            bandwidth_scenario_instances,
+        ],
+    )
+    def test_counts_and_sizes(self, generator):
+        instances = list(generator(4, 3, rng=0))
+        assert len(instances) == 3
+        assert all(inst.n == 4 for inst in instances)
+
+    def test_uniform_parameters_in_paper_ranges(self):
+        for inst in uniform_instances(5, 5, P=1.0, rng=1):
+            assert np.all(inst.volumes < 1.0)
+            assert np.all(inst.weights < 1.0)
+            assert np.all(inst.deltas < 1.0 + 1e-12)
+            assert np.all(inst.volumes > 0) and np.all(inst.weights > 0)
+
+    def test_constant_weight(self):
+        for inst in constant_weight_instances(4, 3, rng=2):
+            np.testing.assert_allclose(inst.weights, 1.0)
+
+    def test_constant_weight_volume(self):
+        for inst in constant_weight_volume_instances(4, 3, rng=3):
+            np.testing.assert_allclose(inst.weights, 1.0)
+            np.testing.assert_allclose(inst.volumes, 1.0)
+
+    def test_large_delta_satisfies_theorem11_hypothesis(self):
+        for inst in large_delta_instances(5, 5, P=1.0, rng=4):
+            assert inst.has_large_deltas()
+            assert inst.has_homogeneous_weights()
+
+    def test_large_delta_heterogeneous_weights_option(self):
+        instances = list(
+            large_delta_instances(5, 3, P=1.0, homogeneous_weights=False, rng=4)
+        )
+        assert any(not inst.has_homogeneous_weights() for inst in instances)
+
+    def test_homogeneous_deltas_in_range(self):
+        for deltas in homogeneous_halfdelta_deltas(6, 4, rng=5):
+            assert np.all(deltas >= 0.5) and np.all(deltas <= 1.0)
+
+    def test_cluster_instances_shapes(self):
+        for inst in cluster_instances(10, 2, P=64.0, rng=6):
+            assert inst.P == 64.0
+            assert np.all(inst.deltas <= 64.0)
+            assert np.all(inst.deltas >= 1.0)
+
+    def test_bandwidth_instances_have_names(self):
+        inst = next(bandwidth_scenario_instances(3, 1, rng=7))
+        assert inst[0].name == "worker1"
+
+    def test_reproducibility(self):
+        a = list(uniform_instances(4, 3, rng=42))
+        b = list(uniform_instances(4, 3, rng=42))
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.volumes, y.volumes)
+            np.testing.assert_allclose(x.deltas, y.deltas)
+
+    def test_different_seeds_differ(self):
+        a = next(uniform_instances(4, 1, rng=1))
+        b = next(uniform_instances(4, 1, rng=2))
+        assert not np.allclose(a.volumes, b.volumes)
+
+
+class TestSuites:
+    def test_all_suites_generate(self):
+        for name, suite in WORKLOAD_SUITES.items():
+            instances = list(suite.generate(n=suite.default_sizes[0], count=2, seed=0))
+            assert len(instances) == 2, name
+
+    def test_get_suite(self):
+        suite = get_suite("conjecture12-uniform")
+        assert suite.experiment == "E1"
+        assert suite.paper_count == 10_000
+
+    def test_get_suite_unknown(self):
+        with pytest.raises(KeyError):
+            get_suite("nope")
+
+    def test_suite_generation_reproducible(self):
+        suite = get_suite("cluster")
+        a = [inst.volumes for inst in suite.generate(10, count=2, seed=3)]
+        b = [inst.volumes for inst in suite.generate(10, count=2, seed=3)]
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y)
