@@ -1,0 +1,106 @@
+"""Gate benchmark regressions against a committed baseline.
+
+Used by the CI benchmark-smoke job::
+
+    python benchmarks/compare_baseline.py \
+        --baseline benchmarks/baselines/BENCH_scaling_baseline.json \
+        --new BENCH_scaling.json --max-regression 2.0
+
+Each benchmark time in the new payload is compared against the baseline
+after normalising by the two payloads' *calibration* measurements (a fixed
+NumPy workload timed on both machines), so a slower CI runner does not read
+as a regression.  The check fails when any normalised time exceeds
+``max_regression`` times its baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["compare", "main"]
+
+#: The calibration correction is clamped to this band: beyond it the two
+#: machines are too dissimilar for a meaningful scalar correction and we
+#: fall back to the band edge (conservative in both directions).
+CALIBRATION_CLAMP = (0.25, 4.0)
+
+#: Absolute slack added to every allowance.  Microsecond-scale baselines
+#: (e.g. the makespan solver) would otherwise flag pure scheduler jitter on
+#: a shared CI runner as a 2x "regression"; one millisecond of slack is far
+#: below any real regression in the kernels this suite watches.
+MIN_SLACK_SECONDS = 1e-3
+
+
+def compare(
+    baseline: dict,
+    new: dict,
+    max_regression: float = 2.0,
+    min_slack: float = MIN_SLACK_SECONDS,
+) -> list[str]:
+    """Return one message per regressed benchmark (empty list = pass)."""
+    base_cal = float(baseline.get("calibration_seconds", 0.0))
+    new_cal = float(new.get("calibration_seconds", 0.0))
+    if base_cal > 0 and new_cal > 0:
+        correction = min(max(new_cal / base_cal, CALIBRATION_CLAMP[0]), CALIBRATION_CLAMP[1])
+    else:
+        correction = 1.0
+    failures = []
+    for name, base_seconds in sorted(baseline.get("benchmarks", {}).items()):
+        new_seconds = new.get("benchmarks", {}).get(name)
+        if new_seconds is None:
+            failures.append(f"{name}: present in baseline but missing from the new run")
+            continue
+        base_seconds = float(base_seconds)
+        if base_seconds <= 0:
+            continue
+        allowed = base_seconds * correction * max_regression + min_slack
+        status = "ok" if new_seconds <= allowed else "REGRESSION"
+        print(
+            f"  {name}: baseline {base_seconds * 1e3:.2f} ms, "
+            f"new {new_seconds * 1e3:.2f} ms, allowed {allowed * 1e3:.2f} ms "
+            f"(calibration x{correction:.2f}) -> {status}"
+        )
+        if new_seconds > allowed:
+            failures.append(
+                f"{name}: {new_seconds * 1e3:.2f} ms exceeds the allowed "
+                f"{allowed * 1e3:.2f} ms ({max_regression}x baseline, calibrated)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Compare a benchmark JSON to its baseline")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--new", required=True, dest="new_path", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when a benchmark is slower than this factor times the baseline",
+    )
+    parser.add_argument(
+        "--min-slack",
+        type=float,
+        default=MIN_SLACK_SECONDS,
+        help="absolute slack in seconds added to every allowance (jitter floor)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.new_path, "r", encoding="utf-8") as handle:
+        new = json.load(handle)
+    failures = compare(baseline, new, args.max_regression, args.min_slack)
+    if failures:
+        print("benchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

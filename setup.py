@@ -2,8 +2,8 @@
 
 All project metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e . --no-use-pep517`` (the legacy editable-install path) works
-on environments whose setuptools predates PEP 660 support, e.g. offline
-machines without the ``wheel`` package.
+on environments whose setuptools/wheel combination predates PEP 660 support,
+e.g. offline machines without the ``wheel`` package.
 """
 
 from setuptools import setup

@@ -24,6 +24,7 @@ import numpy as np
 from repro.algorithms.greedy import best_greedy_schedule
 from repro.algorithms.greedy_homogeneous import homogeneous_greedy_value
 from repro.algorithms.optimal import optimal_value
+from repro.core.bounds import time_leq
 from repro.core.instance import Instance
 
 __all__ = [
@@ -61,7 +62,7 @@ def check_conjecture12(
         best_greedy=greedy.objective,
         optimal=opt,
         relative_gap=gap,
-        holds=bool(gap <= tolerance),
+        holds=time_leq(gap, 0.0, rtol=0.0, atol=tolerance),
     )
 
 
@@ -116,5 +117,5 @@ def check_conjecture13(
     return Conjecture13Check(
         orders_checked=checked,
         max_asymmetry=max_asymmetry,
-        holds=bool(max_asymmetry <= tolerance),
+        holds=time_leq(max_asymmetry, 0.0, rtol=0.0, atol=tolerance),
     )

@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.algorithms.greedy_homogeneous import homogeneous_greedy_value
+from repro.core.bounds import time_leq
 from repro.core.exceptions import InvalidInstanceError
 
 __all__ = [
@@ -131,7 +132,9 @@ def optimal_order_structure(
         values[order] = homogeneous_greedy_value(deltas_sorted, order)
     best = min(values.values())
     optimal_orders = [
-        order for order, value in values.items() if value <= best * (1 + tolerance) + tolerance
+        order
+        for order, value in values.items()
+        if time_leq(value, best, rtol=tolerance, atol=tolerance)
     ]
     try:
         predicted = paper_predicted_orders(n)
@@ -167,4 +170,5 @@ def five_task_condition_holds(
     if len(order) != 5:
         raise InvalidInstanceError(f"the condition is specific to 5-task orders, got {len(order)}")
     i, j, _, l, m = order
-    return float((deltas[l] - deltas[j]) * (deltas[i] - deltas[m])) <= tolerance
+    product = float((deltas[l] - deltas[j]) * (deltas[i] - deltas[m]))
+    return time_leq(product, 0.0, rtol=0.0, atol=tolerance)

@@ -1,0 +1,51 @@
+"""Vectorized batch execution of the paper's kernels.
+
+The experiments of DESIGN.md sweep thousands of random instances through the
+scalar WDEQ / Water-Filling implementations one at a time; at production
+scale that per-instance Python overhead dominates.  This package provides
+
+* :mod:`repro.batch.kernels` — NumPy kernels that process a padded
+  ``(B, n_max)`` batch of instances in one shot (``wdeq_batch``,
+  ``water_filling_batch``, ``combined_lower_bound_batch``, ...), validated
+  against the scalar implementations by the property tests in
+  ``tests/test_batch.py``;
+* :mod:`repro.batch.runner` — a :class:`BatchRunner` that shards a workload
+  across ``concurrent.futures`` workers with per-shard seeding and
+  order-preserving aggregation;
+* :mod:`repro.batch.cache` — a :class:`ResultCache` keyed on
+  ``(generator, seed, params)`` so repeated conjecture sweeps skip
+  recomputation.
+
+The experiments expose the batch path through ``--batch`` / ``--workers`` on
+the CLI and through the ``runner`` / ``use_batch`` keyword arguments of their
+``run`` functions.
+"""
+
+from repro.batch.cache import ResultCache, cache_key
+from repro.batch.kernels import (
+    BatchWaterFilling,
+    PaddedBatch,
+    combined_lower_bound_batch,
+    height_bound_batch,
+    smith_rule_batch,
+    water_filling_batch,
+    wdeq_batch,
+    wdeq_ratio_batch,
+    wdeq_weighted_completion_batch,
+)
+from repro.batch.runner import BatchRunner
+
+__all__ = [
+    "PaddedBatch",
+    "BatchWaterFilling",
+    "wdeq_batch",
+    "water_filling_batch",
+    "wdeq_weighted_completion_batch",
+    "smith_rule_batch",
+    "height_bound_batch",
+    "combined_lower_bound_batch",
+    "wdeq_ratio_batch",
+    "BatchRunner",
+    "ResultCache",
+    "cache_key",
+]

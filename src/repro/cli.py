@@ -13,6 +13,10 @@ Run one experiment with the quick (default) parameters::
 Run everything and regenerate the Markdown report::
 
     malleable-repro all --output EXPERIMENTS.md
+
+Run an experiment on the batched substrate, sharded over 8 workers::
+
+    malleable-repro run E5 --batch --workers 8
 """
 
 from __future__ import annotations
@@ -43,26 +47,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id, e.g. E1")
-    run_parser.add_argument("--seed", type=int, default=0, help="random seed")
-    run_parser.add_argument(
-        "--paper-scale",
-        action="store_true",
-        help="use the paper's instance counts (much slower)",
-    )
+    _add_execution_arguments(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
-    all_parser.add_argument("--seed", type=int, default=0, help="random seed")
-    all_parser.add_argument(
-        "--paper-scale",
-        action="store_true",
-        help="use the paper's instance counts (much slower)",
-    )
+    _add_execution_arguments(all_parser)
     all_parser.add_argument(
         "--output",
         default=None,
         help="write a Markdown report to this path (default: print text to stdout)",
     )
     return parser
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``run`` and ``all``: seeding, scale, batch execution."""
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's instance counts (much slower)",
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="use the vectorized repro.batch kernels where the experiment supports them",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "shard per-instance work over this many worker processes "
+            "(0 = serial in-process execution)"
+        ),
+    )
+
+
+def _execution_kwargs(args: argparse.Namespace) -> dict:
+    """Build the experiment kwargs for the batch/worker options.
+
+    Experiments that do not accept ``runner`` / ``use_batch`` simply never
+    see them (the registry filters by signature).
+    """
+    kwargs: dict = {"seed": args.seed, "paper_scale": args.paper_scale}
+    if args.workers and args.workers > 1:
+        from repro.batch.runner import BatchRunner
+
+        kwargs["runner"] = BatchRunner(workers=args.workers)
+    if args.batch:
+        kwargs["use_batch"] = True
+    return kwargs
+
+
+def _close_runner(kwargs: dict) -> None:
+    """Shut down the worker pool of the runner in ``kwargs``, if any."""
+    runner = kwargs.get("runner")
+    if runner is not None:
+        runner.close()
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -79,14 +120,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        result = run_experiment(
-            args.experiment, seed=args.seed, paper_scale=args.paper_scale
-        )
+        kwargs = _execution_kwargs(args)
+        try:
+            result = run_experiment(args.experiment, **kwargs)
+        finally:
+            _close_runner(kwargs)
         print(result.to_text())
         return 0
 
     if args.command == "all":
-        results = run_all(seed=args.seed, paper_scale=args.paper_scale)
+        kwargs = _execution_kwargs(args)
+        try:
+            results = run_all(**kwargs)
+        finally:
+            _close_runner(kwargs)
         if args.output:
             report = render_markdown_report(results)
             with open(args.output, "w", encoding="utf-8") as handle:

@@ -24,12 +24,61 @@ from repro.core.exceptions import InvalidInstanceError
 from repro.core.instance import Instance
 
 __all__ = [
+    "TIME_RTOL",
+    "TIME_ATOL",
+    "time_tolerance",
+    "times_close",
+    "time_leq",
     "squashed_area_bound",
     "height_bound",
     "mixed_lower_bound",
     "combined_lower_bound",
     "smith_rule_value",
 ]
+
+# --------------------------------------------------------------------- #
+# Tolerance helpers
+# --------------------------------------------------------------------- #
+#
+# Completion times, objectives and allocations all come out of chains of
+# floating-point operations (LP solves, water-filling level searches,
+# cumulative sums), so they must never be compared exactly.  These helpers
+# are the single place that encodes how the library compares computed
+# times; the validators in :mod:`repro.core.validation` and the analysis
+# modules route their comparisons through them.
+
+#: Default relative / absolute tolerance for comparing computed times.
+TIME_RTOL = 1e-9
+TIME_ATOL = 1e-9
+
+
+def time_tolerance(reference, rtol: float = TIME_RTOL, atol: float = TIME_ATOL):
+    """Allowed deviation around ``reference``: ``atol + rtol * |reference|``."""
+    return atol + rtol * np.abs(np.asarray(reference, dtype=float))
+
+
+def times_close(a, b, rtol: float = TIME_RTOL, atol: float = TIME_ATOL):
+    """Elementwise ``a == b`` up to tolerance (``|a - b| <= atol + rtol |b|``).
+
+    Works on scalars and arrays; returns a bool (or bool array).  Use this
+    instead of ``==`` whenever either side is a computed time or objective.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    result = np.abs(a - b) <= time_tolerance(b, rtol=rtol, atol=atol)
+    return bool(result) if result.ndim == 0 else result
+
+
+def time_leq(a, b, rtol: float = TIME_RTOL, atol: float = TIME_ATOL):
+    """Elementwise ``a <= b`` up to tolerance (``a <= b + atol + rtol |b|``).
+
+    Use this instead of ``<=`` whenever either side is a computed time or
+    objective (e.g. classifying near-optimal orders, checking bounds).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    result = a <= b + time_tolerance(b, rtol=rtol, atol=atol)
+    return bool(result) if result.ndim == 0 else result
 
 
 def smith_rule_value(P: float, volumes: np.ndarray, weights: np.ndarray) -> float:

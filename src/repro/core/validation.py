@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bounds import time_leq, times_close
 from repro.core.exceptions import InfeasibleScheduleError
 from repro.core.schedule import ColumnSchedule, ContinuousSchedule, ProcessorAssignment
 
@@ -32,7 +33,10 @@ __all__ = [
 #: Default tolerances.  Schedules come out of LP solvers and long chains of
 #: floating point updates; the validators are deliberately forgiving at the
 #: 1e-6 absolute / relative level (instances in the paper's experiments have
-#: all parameters of order 1).
+#: all parameters of order 1).  All comparisons below go through the
+#: :func:`repro.core.bounds.times_close` / :func:`~repro.core.bounds.time_leq`
+#: helpers (never bare ``==`` / ``<=`` on computed quantities), with the
+#: tolerance scaled by the instance magnitude.
 DEFAULT_TOL = 1e-6
 
 
@@ -50,8 +54,8 @@ def check_column_schedule(schedule: ColumnSchedule, tol: float = DEFAULT_TOL) ->
         violations.append("negative allocation rate found")
 
     # Per-task cap delta_i in every column of positive length.
-    cap_excess = schedule.rates - inst.deltas[:, None]
-    mask = (lengths[None, :] > tol) & (cap_excess > tol * scale)
+    cap_ok = time_leq(schedule.rates, inst.deltas[:, None], rtol=0.0, atol=tol * scale)
+    mask = (lengths[None, :] > tol) & ~cap_ok
     for i, j in zip(*np.nonzero(mask)):
         violations.append(
             f"task {i} uses {schedule.rates[i, j]:.6g} > delta={inst.deltas[i]:.6g} "
@@ -60,7 +64,7 @@ def check_column_schedule(schedule: ColumnSchedule, tol: float = DEFAULT_TOL) ->
 
     # Platform capacity in every column of positive length.
     loads = schedule.column_loads()
-    over = (lengths > tol) & (loads > inst.P + tol * scale)
+    over = (lengths > tol) & ~time_leq(loads, inst.P, rtol=0.0, atol=tol * scale)
     for j in np.nonzero(over)[0]:
         violations.append(
             f"column {j} uses {loads[j]:.6g} > P={inst.P:.6g} processors"
@@ -69,7 +73,7 @@ def check_column_schedule(schedule: ColumnSchedule, tol: float = DEFAULT_TOL) ->
     # Volume conservation.
     processed = schedule.processed_volumes()
     for i in range(n):
-        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+        if not times_close(processed[i], inst.volumes[i], rtol=0.0, atol=tol * scale):
             violations.append(
                 f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
             )
@@ -108,7 +112,7 @@ def check_continuous_schedule(
         violations.append("negative allocation rate found")
 
     cap_excess = schedule.rates - inst.deltas[:, None]
-    if np.any(cap_excess > tol * scale):
+    if not np.all(time_leq(schedule.rates, inst.deltas[:, None], rtol=0.0, atol=tol * scale)):
         i, k = np.unravel_index(int(np.argmax(cap_excess)), cap_excess.shape)
         violations.append(
             f"task {i} exceeds its cap in interval {k}: "
@@ -116,7 +120,7 @@ def check_continuous_schedule(
         )
 
     loads = schedule.rates.sum(axis=0)
-    if np.any(loads > inst.P + tol * scale):
+    if not np.all(time_leq(loads, inst.P, rtol=0.0, atol=tol * scale)):
         k = int(np.argmax(loads))
         violations.append(
             f"interval {k} uses {loads[k]:.6g} > P={inst.P:.6g} processors"
@@ -124,7 +128,7 @@ def check_continuous_schedule(
 
     processed = schedule.processed_volumes()
     for i in range(inst.n):
-        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+        if not times_close(processed[i], inst.volumes[i], rtol=0.0, atol=tol * scale):
             violations.append(
                 f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
             )
@@ -159,14 +163,14 @@ def check_processor_assignment(
 
     for p, segs in enumerate(assignment.segments):
         for a, b in zip(segs, segs[1:]):
-            if b.start < a.end - tol:
+            if not time_leq(a.end, b.start, rtol=0.0, atol=tol):
                 violations.append(
                     f"processor {p}: segments overlap ({a} and {b})"
                 )
 
     processed = assignment.processed_volumes()
     for i in range(inst.n):
-        if abs(processed[i] - inst.volumes[i]) > tol * scale:
+        if not times_close(processed[i], inst.volumes[i], rtol=0.0, atol=tol * scale):
             violations.append(
                 f"task {i} processed volume {processed[i]:.6g} != V={inst.volumes[i]:.6g}"
             )

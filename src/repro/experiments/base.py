@@ -1,13 +1,32 @@
-"""Common result container for all experiments."""
+"""Common result container and execution helpers for all experiments."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.viz.tables import format_markdown_table, format_table
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "map_instances"]
+
+
+def map_instances(
+    fn: Callable[[Any], Any],
+    instances: Iterable[Any],
+    runner: "Any | None" = None,
+) -> list:
+    """Apply ``fn`` to every instance, optionally through a batch runner.
+
+    This is the single entry point the experiments use instead of their
+    historical inline ``for`` loops: with ``runner=None`` it is exactly that
+    serial loop; with a :class:`repro.batch.runner.BatchRunner` the instances
+    are distributed across its workers (order-preserving, identical results).
+    ``fn`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one) when the runner uses a process pool.
+    """
+    if runner is None:
+        return [fn(instance) for instance in instances]
+    return runner.map(fn, instances)
 
 
 @dataclass

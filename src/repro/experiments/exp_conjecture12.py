@@ -10,12 +10,13 @@ with the exact optimum (Corollary 1 LP, minimised over orderings).
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.conjectures import check_conjecture12
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, map_instances
 from repro.workloads import generators
 
 __all__ = ["run"]
@@ -36,28 +37,58 @@ def run(
     backend: str = "scipy",
     tolerance: float = 1e-6,
     paper_scale: bool = False,
+    runner=None,
+    cache=None,
 ) -> ExperimentResult:
     """Run the Conjecture 12 comparison.
 
     ``paper_scale=True`` raises the per-size instance count to the paper's
     10,000 (expect hours of compute for ``n = 5``); the default keeps the
     run to a couple of minutes while exercising every family and size.
+
+    Pass a :class:`repro.batch.runner.BatchRunner` to spread the
+    per-instance greedy-vs-LP comparisons over workers, and/or a
+    :class:`repro.batch.cache.ResultCache` (the runner's cache is used when
+    none is given explicitly) so repeated sweeps with identical parameters
+    skip recomputation entirely.
     """
     if paper_scale:
         count = 10_000
+    if cache is None and runner is not None:
+        cache = runner.cache
+    check = functools.partial(check_conjecture12, tolerance=tolerance, backend=backend)
     rows: list[list[object]] = []
     worst_gap = 0.0
     all_hold = True
     for family in families:
         factory = FAMILIES[family]
         for n in sizes:
-            rng = np.random.default_rng(seed)
-            gaps = []
-            holds = 0
-            for instance in factory(n, count, rng=rng):
-                check = check_conjecture12(instance, tolerance=tolerance, backend=backend)
-                gaps.append(check.relative_gap)
-                holds += int(check.holds)
+
+            def sweep(family: str = family, factory=factory, n: int = n) -> tuple[list[float], int]:
+                rng = np.random.default_rng(seed)
+                checks = map_instances(check, factory(n, count, rng=rng), runner)
+                return (
+                    [c.relative_gap for c in checks],
+                    sum(int(c.holds) for c in checks),
+                )
+
+            if cache is not None:
+                from repro.batch.cache import cache_key
+
+                key = cache_key(
+                    "conjecture12",
+                    seed,
+                    {
+                        "family": family,
+                        "n": n,
+                        "count": count,
+                        "backend": backend,
+                        "tolerance": tolerance,
+                    },
+                )
+                gaps, holds = cache.get_or_compute(key, sweep)
+            else:
+                gaps, holds = sweep()
             gaps_arr = np.array(gaps)
             worst_gap = max(worst_gap, float(gaps_arr.max(initial=0.0)))
             all_hold = all_hold and holds == len(gaps)

@@ -30,6 +30,7 @@ from repro.workloads.generators import cluster_instances
 __all__ = ["run", "TABLE_I_ROWS"]
 
 #: Rows of Table I with the module of this library that covers each setting.
+# fmt: off
 TABLE_I_ROWS: list[list[str]] = [
     ["delta_i != (het.)", "V_i != (het.)", "sum w_i C_i", "non-clairvoyant", "2-approx (WDEQ)", "repro.algorithms.wdeq"],
     ["delta_i = 1", "V_i !=", "sum C_i", "non-clairvoyant", "2-approx [12]", "repro.simulation.policies.DeqPolicy"],
@@ -41,6 +42,7 @@ TABLE_I_ROWS: list[list[str]] = [
     ["delta_i !=", "V_i !=", "L_max", "clairvoyant", "O(n^4 P) [2] / O(n log n) via WF", "repro.algorithms.lateness"],
     ["delta_i !=", "V_i !=", "sum w_i C_i", "clairvoyant", "NP-complete; LP per ordering", "repro.algorithms.optimal"],
 ]
+# fmt: on
 
 
 def _time_call(fn: Callable[[], object], repeats: int = 3) -> float:
@@ -56,13 +58,24 @@ def run(
     sizes: Sequence[int] = (10, 50, 200, 500),
     lp_sizes: Sequence[int] = (5, 10, 20),
     simplex_sizes: Sequence[int] = (5, 10),
+    batch_sizes: Sequence[int] = (64,),
+    batch_task_count: int = 32,
     seed: int = 0,
     paper_scale: bool = False,
 ) -> ExperimentResult:
-    """Measure runtimes of the polynomial solvers and the LP backends."""
+    """Measure runtimes of the polynomial solvers and the LP backends.
+
+    In addition to the per-instance solver timings, the experiment measures
+    the batched-execution substrate: for each ``B`` in ``batch_sizes`` it
+    compares ``B`` scalar WDEQ runs against one vectorized
+    :func:`repro.batch.kernels.wdeq_batch` call on the padded batch, and
+    reports the throughput gain in the summary.  Pass ``batch_sizes=()`` to
+    skip that section.
+    """
     if paper_scale:
         sizes = (10, 50, 200, 500, 1000, 2000)
         lp_sizes = (5, 10, 20, 40)
+        batch_sizes = (64, 256, 1024)
     rows: list[list[object]] = []
     rng = np.random.default_rng(seed)
     instances: dict[int, Instance] = {}
@@ -115,6 +128,42 @@ def run(
                 f"{simplex_time * 1e3:.2f}" if simplex_time is not None else "-",
             ]
         )
+    summary: dict[str, object] = {"table I coverage rows": len(TABLE_I_ROWS)}
+    notes = [
+        "Table I coverage: " + "; ".join(f"{r[2]} / {r[3]} -> {r[5]}" for r in TABLE_I_ROWS),
+        "Runtimes are best-of-3 wall-clock measurements on the synthetic cluster workload; "
+        "pytest-benchmark variants live in benchmarks/bench_scaling.py.",
+    ]
+    for B in batch_sizes:
+        from repro.batch.kernels import PaddedBatch, wdeq_batch
+
+        batch_rng = np.random.default_rng(seed + 1)
+        batch_instances = list(cluster_instances(batch_task_count, B, rng=batch_rng))
+        serial_time = _time_call(
+            lambda: [wdeq_schedule(inst) for inst in batch_instances]
+        )
+        padded = PaddedBatch.from_instances(batch_instances)
+        batch_time = _time_call(lambda: wdeq_batch(padded))
+        speedup = serial_time / batch_time if batch_time > 0 else float("inf")
+        rows.append(
+            [
+                f"B={B} x n={batch_task_count}",
+                f"{serial_time * 1e3:.2f} (serial)",
+                f"{batch_time * 1e3:.2f} (batched)",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+            ]
+        )
+        summary[f"wdeq_batch speedup (B={B})"] = f"{speedup:.1f}x"
+    if batch_sizes:
+        notes.append(
+            "The B=... rows compare B scalar WDEQ simulations against one vectorized "
+            "repro.batch.kernels.wdeq_batch call on the padded batch (columns 2 and 3 "
+            "reuse the WDEQ slots: serial total vs batched total)."
+        )
     return ExperimentResult(
         experiment_id="E7",
         title="Solver coverage (Table I) and runtime scaling",
@@ -134,10 +183,6 @@ def run(
             "ordered LP, simplex (ms)",
         ],
         rows=rows,
-        summary={"table I coverage rows": len(TABLE_I_ROWS)},
-        notes=[
-            "Table I coverage: " + "; ".join(f"{r[2]} / {r[3]} -> {r[5]}" for r in TABLE_I_ROWS),
-            "Runtimes are best-of-3 wall-clock measurements on the synthetic cluster workload; "
-            "pytest-benchmark variants live in benchmarks/bench_scaling.py.",
-        ],
+        summary=summary,
+        notes=notes,
     )

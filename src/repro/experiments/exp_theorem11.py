@@ -9,16 +9,17 @@ saturated in its final column, at most one unsaturated task per column).
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
 
 from repro.algorithms.greedy import best_greedy_schedule
 from repro.algorithms.optimal import optimal_schedule
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, map_instances
 from repro.workloads.generators import large_delta_instances
 
-__all__ = ["run", "optimal_schedule_structure_ok"]
+__all__ = ["run", "optimal_schedule_structure_ok", "measure_instance"]
 
 
 def optimal_schedule_structure_ok(schedule, atol: float = 1e-6) -> bool:
@@ -52,6 +53,14 @@ def optimal_schedule_structure_ok(schedule, atol: float = 1e-6) -> bool:
     return True
 
 
+def measure_instance(instance, backend: str = "scipy") -> tuple[float, bool]:
+    """Gap and Lemma 7/8 structure flag for one instance (picklable worker body)."""
+    greedy = best_greedy_schedule(instance)
+    opt = optimal_schedule(instance, backend=backend)
+    gap = 0.0 if opt.objective <= 0 else (greedy.objective - opt.objective) / opt.objective
+    return gap, optimal_schedule_structure_ok(opt.schedule)
+
+
 def run(
     sizes: Sequence[int] = (2, 3, 4, 5, 6),
     count: int = 25,
@@ -59,23 +68,24 @@ def run(
     backend: str = "scipy",
     tolerance: float = 1e-6,
     paper_scale: bool = False,
+    runner=None,
 ) -> ExperimentResult:
-    """Compare best greedy and optimal on delta > P/2, homogeneous-weight instances."""
+    """Compare best greedy and optimal on delta > P/2, homogeneous-weight instances.
+
+    Pass a :class:`repro.batch.runner.BatchRunner` to spread the
+    per-instance greedy-vs-LP comparisons over its workers.
+    """
     if paper_scale:
         count = 1_000
+    measure = functools.partial(measure_instance, backend=backend)
     rows: list[list[object]] = []
     worst_gap = 0.0
     structure_all = True
     for n in sizes:
         rng = np.random.default_rng(seed)
-        gaps = []
-        structure_ok = 0
-        for instance in large_delta_instances(n, count, P=1.0, rng=rng):
-            greedy = best_greedy_schedule(instance)
-            opt = optimal_schedule(instance, backend=backend)
-            gap = 0.0 if opt.objective <= 0 else (greedy.objective - opt.objective) / opt.objective
-            gaps.append(gap)
-            structure_ok += int(optimal_schedule_structure_ok(opt.schedule))
+        measured = map_instances(measure, large_delta_instances(n, count, P=1.0, rng=rng), runner)
+        gaps = [gap for gap, _ in measured]
+        structure_ok = sum(int(ok) for _, ok in measured)
         gaps_arr = np.array(gaps)
         worst_gap = max(worst_gap, float(gaps_arr.max(initial=0.0)))
         structure_all = structure_all and structure_ok == len(gaps)

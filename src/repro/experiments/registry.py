@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -18,7 +19,42 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "accepted_kwargs",
+]
+
+
+#: Execution options the CLI / report runner pass to every experiment; an
+#: experiment that does not declare one simply never sees it.  Anything
+#: else is an experiment parameter: unknown ones stay in the kwargs so the
+#: run function raises its normal ``TypeError`` (typos must not silently
+#: fall back to defaults).
+SHARED_EXECUTION_OPTIONS = frozenset({"seed", "paper_scale", "runner", "use_batch", "cache"})
+
+
+def accepted_kwargs(fn: Callable, kwargs: dict) -> dict:
+    """Drop the shared execution options ``fn``'s signature does not accept.
+
+    The experiments accept different execution options (``runner``,
+    ``use_batch``, ``cache``, ...); the CLI and the report runner build one
+    kwargs dict for all of them and rely on this filter, so adding an option
+    to one experiment never breaks the others.  Only the options in
+    :data:`SHARED_EXECUTION_OPTIONS` are filtered — a misspelled experiment
+    parameter is passed through and raises ``TypeError`` as before.
+    Functions taking ``**kwargs`` receive everything.
+    """
+    parameters = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return dict(kwargs)
+    return {
+        name: value
+        for name, value in kwargs.items()
+        if name in parameters or name not in SHARED_EXECUTION_OPTIONS
+    }
 
 
 @dataclass(frozen=True)
@@ -104,5 +140,11 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run an experiment by id with the given keyword overrides."""
-    return get_experiment(experiment_id).run(**kwargs)
+    """Run an experiment by id with the given keyword overrides.
+
+    Keyword arguments the experiment's ``run`` function does not accept are
+    silently dropped (see :func:`accepted_kwargs`), so shared execution
+    options like ``runner`` can be passed to every experiment uniformly.
+    """
+    run = get_experiment(experiment_id).run
+    return run(**accepted_kwargs(run, kwargs))

@@ -6,7 +6,7 @@ import datetime
 from typing import Iterable, Sequence
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, accepted_kwargs
 
 __all__ = ["run_all", "render_markdown_report"]
 
@@ -19,13 +19,16 @@ def run_all(
     """Run every (or the selected) experiment and collect the results.
 
     Keyword arguments are forwarded to every experiment that accepts them
-    (they all accept ``seed`` and ``paper_scale``).
+    (they all accept ``seed`` and ``paper_scale``; execution options such as
+    ``runner`` or ``use_batch`` reach only the experiments that support
+    them).
     """
     ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
     results = []
     for experiment_id in ids:
         spec = EXPERIMENTS[experiment_id.upper()]
-        results.append(spec.run(paper_scale=paper_scale, **kwargs))
+        run_kwargs = accepted_kwargs(spec.run, {"paper_scale": paper_scale, **kwargs})
+        results.append(spec.run(**run_kwargs))
     return results
 
 

@@ -25,6 +25,14 @@ class TestParser:
         assert args.output == "report.md"
         assert args.paper_scale is True
 
+    def test_batch_and_workers_flags(self):
+        args = build_parser().parse_args(["run", "E5", "--batch", "--workers", "4"])
+        assert args.batch is True
+        assert args.workers == 4
+        args = build_parser().parse_args(["all"])
+        assert args.batch is False
+        assert args.workers == 0
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -39,3 +47,11 @@ class TestMain:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "E42"])
+
+    def test_execution_kwargs_build_runner(self):
+        from repro.cli import _execution_kwargs, build_parser
+
+        args = build_parser().parse_args(["run", "E5", "--workers", "3", "--batch"])
+        kwargs = _execution_kwargs(args)
+        assert kwargs["use_batch"] is True
+        assert kwargs["runner"].workers == 3

@@ -59,9 +59,24 @@ class TestExperimentRuns:
         assert result.summary[key] is True
 
     def test_e7_scaling_produces_rows(self):
-        result = run_experiment("E7", sizes=(10,), lp_sizes=(5,), simplex_sizes=(5,))
+        result = run_experiment(
+            "E7", sizes=(10,), lp_sizes=(5,), simplex_sizes=(5,), batch_sizes=()
+        )
         assert len(result.rows) == 2
         assert result.summary["table I coverage rows"] == 9
+
+    def test_e7_batch_throughput_row(self):
+        result = run_experiment(
+            "E7",
+            sizes=(),
+            lp_sizes=(),
+            simplex_sizes=(),
+            batch_sizes=(16,),
+            batch_task_count=8,
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "B=16 x n=8"
+        assert "wdeq_batch speedup (B=16)" in result.summary
 
     def test_e8_bandwidth(self):
         result = run_experiment("E8", worker_counts=(5,), count=2)
