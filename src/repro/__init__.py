@@ -24,6 +24,14 @@ Public API highlights
     Event-driven non-clairvoyant execution of online policies.
 ``repro.workloads``
     Random instance generators matching the paper's experiments.
+``repro.exec``
+    The :class:`~repro.exec.ExecutionContext` — seed, scale and a pluggable
+    execution backend (serial / vectorized / process-pool) for every
+    experiment.
+``repro.batch``
+    The vectorized substrate behind the ``vectorized`` backend: padded-batch
+    kernels, the batched discrete-event simulation engine, worker-pool
+    sharding and result caching.
 ``repro.experiments``
     One module per table / figure / experiment of the paper.
 

@@ -18,8 +18,6 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.core.exceptions import InvalidInstanceError
 from repro.core.instance import Instance
 from repro.core.schedule import ColumnSchedule

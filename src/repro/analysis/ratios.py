@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.algorithms.greedy import best_greedy_schedule
 from repro.algorithms.optimal import optimal_value
 from repro.algorithms.wdeq import wdeq_schedule

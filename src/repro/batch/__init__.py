@@ -9,6 +9,12 @@ scale that per-instance Python overhead dominates.  This package provides
   ``water_filling_batch``, ``combined_lower_bound_batch``, ...), validated
   against the scalar implementations by the property tests in
   ``tests/test_batch.py``;
+* :mod:`repro.batch.sim_kernels` — the batched discrete-event simulation
+  engine (``simulate_batch``): every online policy of
+  :mod:`repro.simulation.policies` has a vectorized counterpart that
+  advances a whole ``(B, n_max)`` batch through release / completion /
+  reshare events in lockstep, validated event-for-event against the scalar
+  engine;
 * :mod:`repro.batch.runner` — a :class:`BatchRunner` that shards a workload
   across ``concurrent.futures`` workers with per-shard seeding and
   order-preserving aggregation;
@@ -16,9 +22,11 @@ scale that per-instance Python overhead dominates.  This package provides
   ``(generator, seed, params)`` so repeated conjecture sweeps skip
   recomputation.
 
-The experiments expose the batch path through ``--batch`` / ``--workers`` on
-the CLI and through the ``runner`` / ``use_batch`` keyword arguments of their
-``run`` functions.
+The batch substrate operates on :class:`~repro.core.batch.InstanceBatch`
+(struct-of-arrays, exported here under its historical name ``PaddedBatch``)
+and is selected by the experiments through
+:class:`repro.exec.ExecutionContext` — ``--batch`` / ``--workers`` on the
+CLI.
 """
 
 from repro.batch.cache import ResultCache, cache_key
@@ -34,6 +42,17 @@ from repro.batch.kernels import (
     wdeq_weighted_completion_batch,
 )
 from repro.batch.runner import BatchRunner
+from repro.batch.sim_kernels import (
+    BatchPolicy,
+    BatchSimulationResult,
+    DeqBatchPolicy,
+    FairShareNoCapBatchPolicy,
+    PriorityBatchPolicy,
+    WdeqBatchPolicy,
+    default_batch_policies,
+    policy_ratios_batch,
+    simulate_batch,
+)
 
 __all__ = [
     "PaddedBatch",
@@ -48,4 +67,13 @@ __all__ = [
     "BatchRunner",
     "ResultCache",
     "cache_key",
+    "BatchPolicy",
+    "BatchSimulationResult",
+    "WdeqBatchPolicy",
+    "DeqBatchPolicy",
+    "FairShareNoCapBatchPolicy",
+    "PriorityBatchPolicy",
+    "simulate_batch",
+    "default_batch_policies",
+    "policy_ratios_batch",
 ]

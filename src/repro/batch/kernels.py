@@ -17,10 +17,11 @@ batches including degenerate one-task instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.batch import InstanceBatch
 from repro.core.exceptions import (
     InfeasibleScheduleError,
     InvalidInstanceError,
@@ -40,75 +41,10 @@ __all__ = [
     "wdeq_ratio_batch",
 ]
 
-
-@dataclass(frozen=True)
-class PaddedBatch:
-    """A batch of instances packed into padded ``(B, n_max)`` arrays.
-
-    Attributes
-    ----------
-    P:
-        Platform sizes, shape ``(B,)``.
-    volumes, weights, deltas:
-        Task parameters, shape ``(B, n_max)``; padding slots hold zero
-        volume, zero weight and a cap of 1 (the cap value is irrelevant, it
-        only needs to be positive so the kernels never divide by zero).
-    mask:
-        Boolean ``(B, n_max)``; ``True`` marks real tasks.  Real tasks of
-        every row occupy a prefix of the row.
-    """
-
-    P: np.ndarray
-    volumes: np.ndarray
-    weights: np.ndarray
-    deltas: np.ndarray
-    mask: np.ndarray
-
-    @property
-    def batch_size(self) -> int:
-        """Number of instances ``B`` in the batch."""
-        return int(self.volumes.shape[0])
-
-    @property
-    def n_max(self) -> int:
-        """Padded task count (the largest ``n`` in the batch)."""
-        return int(self.volumes.shape[1])
-
-    @property
-    def counts(self) -> np.ndarray:
-        """Number of real tasks per row, shape ``(B,)``."""
-        return self.mask.sum(axis=1)
-
-    @classmethod
-    def from_instances(cls, instances: Iterable[Instance]) -> "PaddedBatch":
-        """Pack an iterable of instances into one padded batch."""
-        instances = list(instances)
-        if not instances:
-            raise InvalidInstanceError("cannot build a batch from zero instances")
-        B = len(instances)
-        n_max = max(max(inst.n for inst in instances), 1)
-        P = np.array([inst.P for inst in instances], dtype=float)
-        volumes = np.zeros((B, n_max))
-        weights = np.zeros((B, n_max))
-        deltas = np.ones((B, n_max))
-        mask = np.zeros((B, n_max), dtype=bool)
-        for b, inst in enumerate(instances):
-            n = inst.n
-            volumes[b, :n] = inst.volumes
-            weights[b, :n] = inst.weights
-            deltas[b, :n] = inst.deltas
-            mask[b, :n] = True
-        return cls(P=P, volumes=volumes, weights=weights, deltas=deltas, mask=mask)
-
-    def instance(self, b: int) -> Instance:
-        """Rebuild the ``b``-th instance (useful for error reporting / tests)."""
-        n = int(self.mask[b].sum())
-        return Instance.from_arrays(
-            P=float(self.P[b]),
-            volumes=self.volumes[b, :n],
-            weights=self.weights[b, :n],
-            deltas=self.deltas[b, :n],
-        )
+#: Historical name of the struct-of-arrays batch type, which now lives in
+#: :mod:`repro.core.batch` so that core, workloads and the kernels all share
+#: one representation.  Existing callers keep working unchanged.
+PaddedBatch = InstanceBatch
 
 
 # --------------------------------------------------------------------- #

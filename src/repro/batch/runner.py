@@ -96,7 +96,7 @@ class BatchRunner:
         self.batch_size = int(batch_size)
         self.executor = executor
         self.cache = cache
-        self._pool = None
+        self._pool: ProcessPoolExecutor | ThreadPoolExecutor | None = None
 
     def __repr__(self) -> str:
         return (

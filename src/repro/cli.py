@@ -10,13 +10,22 @@ Run one experiment with the quick (default) parameters::
 
     malleable-repro run E1
 
+Run several experiments in one invocation::
+
+    malleable-repro run E1 E5 E8
+
 Run everything and regenerate the Markdown report::
 
     malleable-repro all --output EXPERIMENTS.md
 
-Run an experiment on the batched substrate, sharded over 8 workers::
+Run everything on the vectorized backend, sharding the remaining scalar
+work over 8 worker processes, with results cached across invocations::
 
-    malleable-repro run E5 --batch --workers 8
+    malleable-repro all --batch --workers 8 --cache-dir .repro-cache
+
+Every execution flag maps onto one :class:`repro.exec.ExecutionContext`
+that is handed to every experiment — the CLI contains no per-experiment
+execution wiring.
 """
 
 from __future__ import annotations
@@ -25,11 +34,12 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.exec import ExecutionContext
+from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.experiments.report import render_markdown_report, run_all
 from repro.viz.tables import format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "context_from_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,8 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available experiments")
 
-    run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", help="experiment id, e.g. E1")
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+", metavar="experiment", help="experiment id(s), e.g. E1 E5 E8"
+    )
     _add_execution_arguments(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
@@ -60,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
-    """Options shared by ``run`` and ``all``: seeding, scale, batch execution."""
+    """Options shared by ``run`` and ``all``; they populate one ExecutionContext."""
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
         "--paper-scale",
@@ -70,7 +82,7 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch",
         action="store_true",
-        help="use the vectorized repro.batch kernels where the experiment supports them",
+        help="vectorized backend: padded-batch NumPy kernels where they exist",
     )
     parser.add_argument(
         "--workers",
@@ -81,29 +93,25 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "(0 = serial in-process execution)"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the result cache to this directory so repeated runs with "
+            "identical parameters skip recomputation across invocations"
+        ),
+    )
 
 
-def _execution_kwargs(args: argparse.Namespace) -> dict:
-    """Build the experiment kwargs for the batch/worker options.
-
-    Experiments that do not accept ``runner`` / ``use_batch`` simply never
-    see them (the registry filters by signature).
-    """
-    kwargs: dict = {"seed": args.seed, "paper_scale": args.paper_scale}
-    if args.workers and args.workers > 1:
-        from repro.batch.runner import BatchRunner
-
-        kwargs["runner"] = BatchRunner(workers=args.workers)
-    if args.batch:
-        kwargs["use_batch"] = True
-    return kwargs
-
-
-def _close_runner(kwargs: dict) -> None:
-    """Shut down the worker pool of the runner in ``kwargs``, if any."""
-    runner = kwargs.get("runner")
-    if runner is not None:
-        runner.close()
+def context_from_args(args: argparse.Namespace) -> ExecutionContext:
+    """Build the ExecutionContext the parsed execution flags describe."""
+    return ExecutionContext.from_options(
+        seed=args.seed,
+        paper_scale=args.paper_scale,
+        batch=args.batch,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -120,20 +128,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        kwargs = _execution_kwargs(args)
-        try:
-            result = run_experiment(args.experiment, **kwargs)
-        finally:
-            _close_runner(kwargs)
-        print(result.to_text())
+        # Resolve every id before running anything, so a typo in the second
+        # id does not waste the first experiment's compute.
+        specs = [get_experiment(experiment_id) for experiment_id in args.experiments]
+        with context_from_args(args) as ctx:
+            for i, spec in enumerate(specs):
+                result = spec.run(ctx=ctx)
+                if i:
+                    print()
+                print(result.to_text())
         return 0
 
     if args.command == "all":
-        kwargs = _execution_kwargs(args)
-        try:
-            results = run_all(**kwargs)
-        finally:
-            _close_runner(kwargs)
+        with context_from_args(args) as ctx:
+            results = run_all(ctx=ctx)
         if args.output:
             report = render_markdown_report(results)
             with open(args.output, "w", encoding="utf-8") as handle:

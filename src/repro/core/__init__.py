@@ -14,6 +14,7 @@ from repro.core.exceptions import (
     InvalidScheduleError,
     ReproError,
 )
+from repro.core.batch import InstanceBatch
 from repro.core.instance import Instance, Task
 from repro.core.schedule import (
     ColumnSchedule,
@@ -55,6 +56,7 @@ __all__ = [
     "InfeasibleScheduleError",
     "Task",
     "Instance",
+    "InstanceBatch",
     "ColumnSchedule",
     "ContinuousSchedule",
     "ProcessorAssignment",

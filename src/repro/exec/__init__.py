@@ -1,0 +1,22 @@
+"""Pluggable execution backends for the experiment harness.
+
+This package owns the *how* of running an experiment — seeding, scale,
+vectorization, worker pools, result caching — so the experiment modules only
+describe the *what*.  The single public type is
+:class:`~repro.exec.context.ExecutionContext`; every experiment ``run``
+function accepts one (``ctx=None`` meaning "default serial context"), the
+CLI builds one from its flags, and the registry translates the deprecated
+pre-context keyword arguments into one.
+
+Typical usage::
+
+    from repro.exec import ExecutionContext
+    from repro.experiments import run_experiment
+
+    with ExecutionContext(seed=7, backend="vectorized", workers=4) as ctx:
+        result = run_experiment("E5", ctx=ctx)
+"""
+
+from repro.exec.context import BACKENDS, ExecutionContext
+
+__all__ = ["BACKENDS", "ExecutionContext"]

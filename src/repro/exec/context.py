@@ -1,0 +1,253 @@
+"""The :class:`ExecutionContext`: one object that says *how* experiments run.
+
+Before this module existed, execution options reached the experiments as a
+sprawl of per-experiment keyword arguments (``seed``, ``paper_scale``,
+``runner``, ``use_batch``, ``cache``) that the registry filtered by signature
+inspection.  The context bundles them into a single explicit value that every
+experiment accepts, so "which backend runs this" is a first-class, pluggable
+concept instead of a kwargs-routing convention.
+
+Three backends are supported:
+
+``serial``
+    The historical in-process loop.  Default, zero dependencies, exactly
+    reproduces the scalar code paths.
+``vectorized``
+    Experiments route their per-instance sweeps through the padded-batch
+    NumPy kernels of :mod:`repro.batch` (closed-form kernels *and* the
+    discrete-event simulation kernel of :mod:`repro.batch.sim_kernels`)
+    wherever a kernel exists; everything else falls back to the serial loop
+    (or the runner, when ``workers > 1``).
+``process-pool``
+    Per-instance work is sharded over a
+    :class:`~repro.batch.runner.BatchRunner` worker pool.
+
+A context with ``backend="vectorized"`` and ``workers > 1`` combines both
+levers: vectorized kernels where they exist, the pool for the remaining
+scalar work — this is what ``malleable-repro all --batch --workers N``
+builds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.batch.cache import ResultCache, cache_key
+from repro.batch.runner import BatchRunner
+
+__all__ = ["BACKENDS", "ExecutionContext"]
+
+#: The recognised execution backends.
+BACKENDS = ("serial", "vectorized", "process-pool")
+
+#: File name used for the persistent result cache inside ``--cache-dir``.
+CACHE_FILE_NAME = "results-cache.json"
+
+
+@dataclass
+class ExecutionContext:
+    """Bundles seed, scale, backend, runner and cache for one experiment run.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for every workload generator the experiments draw from.
+    paper_scale:
+        When true, experiments use the paper's (much larger) instance counts.
+    backend:
+        One of :data:`BACKENDS`; see the module docstring.
+    workers:
+        Worker processes for the ``process-pool`` backend (and for the scalar
+        remainder of the ``vectorized`` backend).  ``0``/``1`` means no pool;
+        ``workers > 1`` (or an explicit ``runner``) on the default ``serial``
+        backend promotes the context to ``process-pool`` — a context that
+        reports ``serial`` never shards.
+    runner:
+        Explicit :class:`~repro.batch.runner.BatchRunner`.  Built
+        automatically from ``workers`` when not given; a context that built
+        its own runner also closes it in :meth:`close`.
+    cache:
+        Optional :class:`~repro.batch.cache.ResultCache` consulted by
+        :meth:`cached`.  A cache constructed with a backing path is saved by
+        :meth:`close`, which is how ``--cache-dir`` persists results across
+        CLI invocations.
+
+    Examples
+    --------
+    >>> from repro.exec import ExecutionContext
+    >>> ctx = ExecutionContext(seed=7, backend="vectorized")
+    >>> ctx.vectorized
+    True
+    >>> ctx.map(lambda x: x * 2, [1, 2, 3])
+    [2, 4, 6]
+    """
+
+    seed: int = 0
+    paper_scale: bool = False
+    backend: str = "serial"
+    workers: int = 0
+    runner: BatchRunner | None = None
+    cache: ResultCache | None = None
+    _owns_runner: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.backend == "serial" and (self.workers > 1 or self.runner is not None):
+            # Asking for workers IS asking for the pool backend; a context
+            # reporting "serial" must never shard (serial guarantees the
+            # in-process loop, e.g. for non-picklable functions).
+            self.backend = "process-pool"
+        if self.runner is None:
+            pool_workers = self.workers
+            if self.backend == "process-pool" and pool_workers <= 1:
+                pool_workers = os.cpu_count() or 1
+            if pool_workers > 1:
+                self.runner = BatchRunner(workers=pool_workers, cache=self.cache)
+                self._owns_runner = True
+        if self.cache is None and self.runner is not None:
+            self.cache = self.runner.cache
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_options(
+        cls,
+        seed: int = 0,
+        paper_scale: bool = False,
+        batch: bool = False,
+        workers: int = 0,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> "ExecutionContext":
+        """Build a context from CLI-style flags.
+
+        ``--batch`` selects the ``vectorized`` backend, ``--workers N`` (for
+        ``N > 1``) the ``process-pool`` backend, and both together a
+        vectorized context with a worker pool for the scalar remainder.
+        ``--cache-dir`` attaches a :class:`ResultCache` persisted to
+        ``<cache_dir>/results-cache.json`` (created on demand, reloaded on
+        the next invocation, saved by :meth:`close`).
+        """
+        if batch:
+            backend = "vectorized"
+        elif workers > 1:
+            backend = "process-pool"
+        else:
+            backend = "serial"
+        cache = None
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+            cache = ResultCache(path=os.path.join(os.fspath(cache_dir), CACHE_FILE_NAME))
+        return cls(
+            seed=seed, paper_scale=paper_scale, backend=backend, workers=workers, cache=cache
+        )
+
+    @classmethod
+    def from_legacy_kwargs(
+        cls, base: "ExecutionContext | None", options: Mapping[str, Any]
+    ) -> "ExecutionContext":
+        """Translate the pre-context execution kwargs into a context.
+
+        Accepts the historical option names (``seed``, ``paper_scale``,
+        ``runner``, ``use_batch``, ``cache``) as used by
+        ``run_experiment("E5", use_batch=True)`` style callers, layered on
+        top of ``base`` (or a default context).  The registry uses this as
+        the migration path while the old spelling is deprecated.
+        """
+        ctx = base if base is not None else cls()
+        updates: dict[str, Any] = {}
+        if "seed" in options:
+            updates["seed"] = int(options["seed"])
+        if "paper_scale" in options:
+            updates["paper_scale"] = bool(options["paper_scale"])
+        if options.get("use_batch"):
+            updates["backend"] = "vectorized"
+        runner = options.get("runner")
+        if runner is not None:
+            updates["runner"] = runner
+            if not options.get("use_batch") and ctx.backend == "serial":
+                updates["backend"] = "process-pool"
+        if options.get("cache") is not None:
+            updates["cache"] = options["cache"]
+        return replace(ctx, **updates) if updates else ctx
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def vectorized(self) -> bool:
+        """True when experiments should prefer the padded-batch kernels."""
+        return self.backend == "vectorized"
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh generator seeded from ``seed + salt``.
+
+        Experiments call this once per sweep (per size, per family, ...) so
+        every sweep restarts from a deterministic stream exactly as the
+        historical per-loop ``np.random.default_rng(seed)`` calls did.
+        """
+        return np.random.default_rng(self.seed + salt)
+
+    def scale(self, quick: int, paper: int | None = None) -> int:
+        """Pick the quick or paper-scale count for a sweep parameter."""
+        if self.paper_scale and paper is not None:
+            return paper
+        return quick
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Apply ``fn`` to every item through the configured backend.
+
+        Serial contexts run the plain in-process loop; contexts with a
+        runner shard the items over its workers (order-preserving, identical
+        results — ``fn`` must then be picklable).  This is the single entry
+        point experiments use for per-instance work, so switching backends
+        never touches experiment logic.
+        """
+        if self.runner is not None:
+            return self.runner.map(fn, items)
+        return [fn(item) for item in items]
+
+    def cached(
+        self, name: str, params: Mapping[str, Any], compute: Callable[[], Any]
+    ) -> Any:
+        """Memoize ``compute()`` under ``(name, seed, params)`` in the cache.
+
+        Without a cache this simply calls ``compute()``.  ``params`` must be
+        JSON-canonicalisable (see :func:`repro.batch.cache.cache_key`); the
+        context adds its own seed to the key so sweeps with different seeds
+        never collide.
+        """
+        if self.cache is None:
+            return compute()
+        return self.cache.get_or_compute(cache_key(name, self.seed, dict(params)), compute)
+
+    def close(self) -> None:
+        """Release resources: shut down an owned runner, save a backed cache."""
+        if self.runner is not None and self._owns_runner:
+            self.runner.close()
+        if self.cache is not None and getattr(self.cache, "_path", None):
+            try:
+                self.cache.save()
+            except OSError:  # pragma: no cover - disk full / permissions
+                pass
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

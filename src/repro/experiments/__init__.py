@@ -8,9 +8,12 @@ experiment ids (E1, E2, ...) to those functions, and
 ``EXPERIMENTS.md`` document.
 
 Default parameters are deliberately small so the whole suite runs in minutes
-on a laptop; pass ``paper_scale=True`` (or the corresponding CLI flag) to use
-the instance counts reported in the paper (e.g. 10,000 random instances per
-size for Conjecture 12).
+on a laptop; run with a paper-scale :class:`repro.exec.ExecutionContext`
+(``ExecutionContext(paper_scale=True)``, or the ``--paper-scale`` CLI flag)
+to use the instance counts reported in the paper (e.g. 10,000 random
+instances per size for Conjecture 12).  The context also selects the
+execution backend — ``serial``, ``vectorized`` (padded-batch NumPy kernels)
+or ``process-pool`` — for every experiment uniformly.
 """
 
 from repro.experiments.base import ExperimentResult

@@ -17,12 +17,15 @@ def map_instances(
 ) -> list:
     """Apply ``fn`` to every instance, optionally through a batch runner.
 
-    This is the single entry point the experiments use instead of their
-    historical inline ``for`` loops: with ``runner=None`` it is exactly that
-    serial loop; with a :class:`repro.batch.runner.BatchRunner` the instances
-    are distributed across its workers (order-preserving, identical results).
-    ``fn`` must be picklable (a module-level function or a
-    :func:`functools.partial` of one) when the runner uses a process pool.
+    With ``runner=None`` this is exactly the serial loop; with a
+    :class:`repro.batch.runner.BatchRunner` the instances are distributed
+    across its workers (order-preserving, identical results).  ``fn`` must be
+    picklable (a module-level function or a :func:`functools.partial` of
+    one) when the runner uses a process pool.
+
+    The experiments themselves now route their loops through
+    :meth:`repro.exec.ExecutionContext.map`, which delegates to the
+    context's runner; this helper remains for direct library use.
     """
     if runner is None:
         return [fn(instance) for instance in instances]

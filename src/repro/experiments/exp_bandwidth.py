@@ -14,6 +14,9 @@ The experiment compares the throughput achieved by
 and reports both the throughput (jobs processed by ``T``) and the scheduling
 objective ``sum w_i C_i``.  The expected shape: WDEQ and greedy dominate the
 naive strategies, with greedy (clairvoyant) the best of all.
+
+Each random scenario is planned independently, so the per-scenario planning
+runs through ``ctx.map`` of the :class:`repro.exec.ExecutionContext`.
 """
 
 from __future__ import annotations
@@ -24,39 +27,47 @@ import numpy as np
 
 from repro.bandwidth.network import BandwidthScenario
 from repro.bandwidth.transfer import plan_transfers
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 
 __all__ = ["run"]
 
 
+def _plan_metrics(scenario: BandwidthScenario) -> dict[str, tuple[float, float]]:
+    """Throughput and objective of every strategy on one scenario (picklable)."""
+    return {
+        plan.strategy: (
+            plan.throughput(scenario),
+            plan.weighted_completion_time(scenario),
+        )
+        for plan in plan_transfers(scenario)
+    }
+
+
 def run(
     worker_counts: Sequence[int] = (5, 10, 20),
     count: int = 10,
-    seed: int = 0,
     horizon_slack: float = 2.0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Compare transfer strategies on random master-worker scenarios."""
-    if paper_scale:
-        count = 100
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 100)
     rows: list[list[object]] = []
     wdeq_beats_naive = True
     greedy_best = True
     for n in worker_counts:
-        rng = np.random.default_rng(seed)
+        rng = ctx.rng()
+        scenarios = [
+            BandwidthScenario.random(n, horizon_slack=horizon_slack, rng=rng)
+            for _ in range(count)
+        ]
         throughput_by_strategy: dict[str, list[float]] = {}
         objective_by_strategy: dict[str, list[float]] = {}
-        for _ in range(count):
-            scenario = BandwidthScenario.random(
-                n, horizon_slack=horizon_slack, rng=rng
-            )
-            for plan in plan_transfers(scenario):
-                throughput_by_strategy.setdefault(plan.strategy, []).append(
-                    plan.throughput(scenario)
-                )
-                objective_by_strategy.setdefault(plan.strategy, []).append(
-                    plan.weighted_completion_time(scenario)
-                )
+        for metrics in ctx.map(_plan_metrics, scenarios):
+            for strategy, (throughput, objective) in metrics.items():
+                throughput_by_strategy.setdefault(strategy, []).append(throughput)
+                objective_by_strategy.setdefault(strategy, []).append(objective)
         means = {name: float(np.mean(v)) for name, v in throughput_by_strategy.items()}
         obj_means = {name: float(np.mean(v)) for name, v in objective_by_strategy.items()}
         naive_best = max(means.get("sequential", 0.0), means.get("fair share (DEQ)", 0.0))

@@ -6,6 +6,12 @@ and found the best greedy schedule numerically indistinguishable from the
 optimum on every one of them.  This experiment repeats the comparison: for
 every instance, the best greedy value (exhaustive over orderings) is compared
 with the exact optimum (Corollary 1 LP, minimised over orderings).
+
+Execution (seed, scale, worker pool, cache) is controlled by the
+:class:`repro.exec.ExecutionContext`: the per-instance greedy-vs-LP
+comparisons go through ``ctx.map`` (sharded over workers when the context
+has a pool) and each ``(family, n)`` sweep is memoized through
+``ctx.cached`` when the context carries a result cache.
 """
 
 from __future__ import annotations
@@ -13,10 +19,9 @@ from __future__ import annotations
 import functools
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.conjectures import check_conjecture12
-from repro.experiments.base import ExperimentResult, map_instances
+from repro.exec import ExecutionContext
+from repro.experiments.base import ExperimentResult
 from repro.workloads import generators
 
 __all__ = ["run"]
@@ -33,29 +38,18 @@ def run(
     sizes: Sequence[int] = (2, 3, 4, 5),
     count: int = 30,
     families: Sequence[str] = ("uniform", "constant weight", "constant weight+volume"),
-    seed: int = 0,
     backend: str = "scipy",
     tolerance: float = 1e-6,
-    paper_scale: bool = False,
-    runner=None,
-    cache=None,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Run the Conjecture 12 comparison.
 
-    ``paper_scale=True`` raises the per-size instance count to the paper's
+    A paper-scale context raises the per-size instance count to the paper's
     10,000 (expect hours of compute for ``n = 5``); the default keeps the
     run to a couple of minutes while exercising every family and size.
-
-    Pass a :class:`repro.batch.runner.BatchRunner` to spread the
-    per-instance greedy-vs-LP comparisons over workers, and/or a
-    :class:`repro.batch.cache.ResultCache` (the runner's cache is used when
-    none is given explicitly) so repeated sweeps with identical parameters
-    skip recomputation entirely.
     """
-    if paper_scale:
-        count = 10_000
-    if cache is None and runner is not None:
-        cache = runner.cache
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 10_000)
     check = functools.partial(check_conjecture12, tolerance=tolerance, backend=backend)
     rows: list[list[object]] = []
     worst_gap = 0.0
@@ -64,41 +58,34 @@ def run(
         factory = FAMILIES[family]
         for n in sizes:
 
-            def sweep(family: str = family, factory=factory, n: int = n) -> tuple[list[float], int]:
-                rng = np.random.default_rng(seed)
-                checks = map_instances(check, factory(n, count, rng=rng), runner)
+            def sweep(factory=factory, n: int = n) -> tuple[list[float], int]:
+                checks = ctx.map(check, factory(n, count, rng=ctx.rng()))
                 return (
                     [c.relative_gap for c in checks],
                     sum(int(c.holds) for c in checks),
                 )
 
-            if cache is not None:
-                from repro.batch.cache import cache_key
-
-                key = cache_key(
-                    "conjecture12",
-                    seed,
-                    {
-                        "family": family,
-                        "n": n,
-                        "count": count,
-                        "backend": backend,
-                        "tolerance": tolerance,
-                    },
-                )
-                gaps, holds = cache.get_or_compute(key, sweep)
-            else:
-                gaps, holds = sweep()
-            gaps_arr = np.array(gaps)
-            worst_gap = max(worst_gap, float(gaps_arr.max(initial=0.0)))
+            gaps, holds = ctx.cached(
+                "conjecture12",
+                {
+                    "family": family,
+                    "n": n,
+                    "count": count,
+                    "backend": backend,
+                    "tolerance": tolerance,
+                },
+                sweep,
+            )
+            max_gap = max(gaps, default=0.0)
+            worst_gap = max(worst_gap, max_gap)
             all_hold = all_hold and holds == len(gaps)
             rows.append(
                 [
                     family,
                     n,
                     len(gaps),
-                    f"{gaps_arr.mean():.2e}",
-                    f"{gaps_arr.max(initial=0.0):.2e}",
+                    f"{sum(gaps) / max(len(gaps), 1):.2e}",
+                    f"{max_gap:.2e}",
                     f"{holds}/{len(gaps)}",
                 ]
             )

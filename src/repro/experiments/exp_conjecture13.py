@@ -5,51 +5,59 @@ the paper conjectures that the greedy value of any order equals the greedy
 value of the reversed order, and reports a formal check up to 15 tasks.  This
 experiment verifies the symmetry numerically on random instances up to 15
 tasks (all orders for small ``n``, a random sample of orders beyond).
+
+The per-instance order enumeration is the expensive part; it runs through
+``ctx.map`` so a process-pool :class:`repro.exec.ExecutionContext` shards
+the instances over workers.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.conjectures import check_conjecture13
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import homogeneous_halfdelta_deltas
 
 __all__ = ["run"]
 
 
+def _check_symmetry(deltas: np.ndarray, max_orders: int, order_seed: int):
+    """Check one instance (module-level so it pickles into worker processes)."""
+    return check_conjecture13(
+        deltas, max_orders=max_orders, rng=np.random.default_rng(order_seed)
+    )
+
+
 def run(
     sizes: Sequence[int] = (2, 3, 4, 5, 8, 10, 12, 15),
     count: int = 40,
     max_orders: int = 200,
-    seed: int = 0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Check the reversal symmetry on random Section V-B instances.
 
-    ``paper_scale=True`` increases the number of instances per size and the
+    A paper-scale context increases the number of instances per size and the
     number of orders sampled per instance.
     """
-    if paper_scale:
-        count = 500
-        max_orders = 2_000
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 500)
+    max_orders = ctx.scale(max_orders, 2_000)
     rows: list[list[object]] = []
     overall_max = 0.0
     all_hold = True
     for n in sizes:
-        rng = np.random.default_rng(seed)
-        asymmetries = []
-        orders_checked = 0
-        holds = 0
-        for deltas in homogeneous_halfdelta_deltas(n, count, rng=rng):
-            check = check_conjecture13(
-                deltas, max_orders=max_orders, rng=np.random.default_rng(seed + n)
-            )
-            asymmetries.append(check.max_asymmetry)
-            orders_checked += check.orders_checked
-            holds += int(check.holds)
+        check = functools.partial(
+            _check_symmetry, max_orders=max_orders, order_seed=ctx.seed + n
+        )
+        checks = ctx.map(check, homogeneous_halfdelta_deltas(n, count, rng=ctx.rng()))
+        asymmetries = [c.max_asymmetry for c in checks]
+        orders_checked = sum(c.orders_checked for c in checks)
+        holds = sum(int(c.holds) for c in checks)
         max_asym = float(np.max(asymmetries)) if asymmetries else 0.0
         overall_max = max(overall_max, max_asym)
         all_hold = all_hold and holds == len(asymmetries)

@@ -6,10 +6,15 @@ to the Water-Filling algorithm.  Theorem 8 guarantees WF succeeds and the
 resulting normal form preserves every completion time; Theorem 3 guarantees
 the fractional-to-integer conversion preserves them as well.  The experiment
 measures the largest deviation observed across the whole pipeline.
+
+Each (source, instance) round trip is independent, so they run through
+``ctx.map`` of the :class:`repro.exec.ExecutionContext` and shard over a
+worker pool when the context has one.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Sequence
 
 import numpy as np
@@ -24,6 +29,7 @@ from repro.core.validation import (
     check_column_schedule,
     check_processor_assignment,
 )
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import cluster_instances, uniform_instances
 
@@ -49,51 +55,57 @@ SOURCES: dict[str, Callable[[Instance], np.ndarray]] = {
 }
 
 
+def _roundtrip(instance: Instance, source_name: str) -> tuple[float, bool]:
+    """Normalise one instance's completion times and measure the deviation.
+
+    Module-level (and addressed by source *name*) so it pickles into worker
+    processes.  Returns the largest late-completion deviation and whether
+    both the WF schedule and its integer conversion validate.
+    """
+    target = SOURCES[source_name](instance)
+    normalised = water_filling_schedule(instance, target)
+    wf_completions = normalised.completion_times_by_task()
+    # WF may finish a task earlier than its target (never later).
+    dev = float(np.max(np.maximum(wf_completions - target, 0.0), initial=0.0))
+    assignment = assign_processors(normalised)
+    int_completions = assignment.completion_times()
+    # The integer conversion may finish a task slightly earlier than its
+    # nominal completion time (its last column may carry only the "floor"
+    # part of the allocation); only *late* completions are deviations.
+    dev = max(
+        dev,
+        float(np.max(np.maximum(int_completions - wf_completions, 0.0), initial=0.0)),
+    )
+    violations = check_column_schedule(normalised) + check_processor_assignment(assignment)
+    return dev, not violations
+
+
 def run(
     small_sizes: Sequence[int] = (3, 4, 5),
     large_sizes: Sequence[int] = (10, 30),
     count: int = 10,
-    seed: int = 0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Round-trip completion times through WF and the integer conversion."""
-    if paper_scale:
-        count = 100
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 100)
     rows: list[list[object]] = []
     overall_max_dev = 0.0
     all_valid = True
-    for source_name, source in SOURCES.items():
+    for source_name in SOURCES:
         sizes = small_sizes if source_name == "optimal LP" else tuple(small_sizes) + tuple(large_sizes)
+        roundtrip = functools.partial(_roundtrip, source_name=source_name)
         for n in sizes:
-            rng = np.random.default_rng(seed)
+            rng = ctx.rng()
             gen = (
                 uniform_instances(n, count, rng=rng)
                 if n <= max(small_sizes)
                 else cluster_instances(n, count, rng=rng)
             )
-            max_dev = 0.0
-            valid = 0
-            total = 0
-            for instance in gen:
-                target = source(instance)
-                normalised = water_filling_schedule(instance, target)
-                wf_completions = normalised.completion_times_by_task()
-                # WF may finish a task earlier than its target (never later).
-                dev = float(np.max(np.maximum(wf_completions - target, 0.0), initial=0.0))
-                assignment = assign_processors(normalised)
-                int_completions = assignment.completion_times()
-                # The integer conversion may finish a task slightly earlier than
-                # its nominal completion time (its last column may carry only
-                # the "floor" part of the allocation); only *late* completions
-                # are deviations.
-                dev = max(
-                    dev,
-                    float(np.max(np.maximum(int_completions - wf_completions, 0.0), initial=0.0)),
-                )
-                violations = check_column_schedule(normalised) + check_processor_assignment(assignment)
-                valid += int(not violations)
-                total += 1
-                max_dev = max(max_dev, dev)
+            measured = ctx.map(roundtrip, gen)
+            max_dev = max((dev for dev, _ in measured), default=0.0)
+            valid = sum(int(ok) for _, ok in measured)
+            total = len(measured)
             overall_max_dev = max(overall_max_dev, max_dev)
             all_valid = all_valid and valid == total
             rows.append([source_name, n, total, f"{max_dev:.2e}", f"{valid}/{total}"])

@@ -9,7 +9,8 @@ The paper reports, for the homogeneous family sorted by non-increasing cap:
   ``(delta_l - delta_j)(delta_i - delta_m) <= 0``.
 
 This experiment verifies those statements on random instances by exhaustive
-enumeration of the greedy values.
+enumeration of the greedy values; the per-instance enumerations run through
+``ctx.map`` of the :class:`repro.exec.ExecutionContext`.
 """
 
 from __future__ import annotations
@@ -19,37 +20,47 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.orderings import five_task_condition_holds, optimal_order_structure
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import homogeneous_halfdelta_deltas
 
 __all__ = ["run"]
 
 
+def _structure_flags(deltas: np.ndarray) -> tuple[bool, bool]:
+    """Paper-order / measured-pattern optimality of one instance (picklable)."""
+    structure = optimal_order_structure(deltas)
+    return structure.predictions_optimal, structure.measured_pattern_optimal
+
+
+def _five_task_flags(deltas: np.ndarray) -> list[bool]:
+    """Condition check of every optimal order of one 5-task instance."""
+    structure = optimal_order_structure(deltas)
+    return [
+        five_task_condition_holds(structure.deltas_sorted, order)
+        for order in structure.optimal_orders
+    ]
+
+
 def run(
     sizes: Sequence[int] = (2, 3, 4),
     count: int = 60,
     five_task_count: int = 40,
-    seed: int = 0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Verify the published optimal orders (n <= 4) and the 5-task condition."""
-    if paper_scale:
-        count = 1_000
-        five_task_count = 500
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 1_000)
+    five_task_count = ctx.scale(five_task_count, 500)
     rows: list[list[object]] = []
     paper_holds_small = True  # paper's printed orders for n <= 3
     measured_holds = True  # this reproduction's closed-form orders for n <= 4
     paper_n4_fraction = "n/a"
     for n in sizes:
-        rng = np.random.default_rng(seed)
-        paper_ok = 0
-        measured_ok = 0
-        instances = 0
-        for deltas in homogeneous_halfdelta_deltas(n, count, rng=rng):
-            structure = optimal_order_structure(deltas)
-            paper_ok += int(structure.predictions_optimal)
-            measured_ok += int(structure.measured_pattern_optimal)
-            instances += 1
+        flags = ctx.map(_structure_flags, homogeneous_halfdelta_deltas(n, count, rng=ctx.rng()))
+        paper_ok = sum(int(paper) for paper, _ in flags)
+        measured_ok = sum(int(measured) for _, measured in flags)
+        instances = len(flags)
         if n <= 3:
             paper_holds_small = paper_holds_small and paper_ok == instances
         else:
@@ -69,18 +80,12 @@ def run(
         )
 
     # The 5-task necessary condition.
-    rng = np.random.default_rng(seed + 5)
-    condition_ok = 0
-    optimal_orders_checked = 0
-    instances5 = 0
-    for deltas in homogeneous_halfdelta_deltas(5, five_task_count, rng=rng):
-        structure = optimal_order_structure(deltas)
-        instances5 += 1
-        for order in structure.optimal_orders:
-            optimal_orders_checked += 1
-            condition_ok += int(
-                five_task_condition_holds(structure.deltas_sorted, order)
-            )
+    per_instance = ctx.map(
+        _five_task_flags, homogeneous_halfdelta_deltas(5, five_task_count, rng=ctx.rng(5))
+    )
+    instances5 = len(per_instance)
+    optimal_orders_checked = sum(len(flags) for flags in per_instance)
+    condition_ok = sum(int(flag) for flags in per_instance for flag in flags)
     rows.append(
         [
             "n=5 optimal orders satisfying (d_l-d_j)(d_i-d_m) <= 0",

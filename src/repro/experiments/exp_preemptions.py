@@ -6,6 +6,11 @@ concrete per-processor assignment with the sticky policy of Lemma 10, and
 the counts are compared to the paper's bounds: at most ``n`` changes of the
 fractional allocation and at most ``3n`` preemptions of the integer
 schedule.
+
+On a vectorized :class:`repro.exec.ExecutionContext` the WDEQ completion
+times of all instances of a size are computed by one
+:func:`repro.batch.kernels.wdeq_batch` sweep; the per-instance preemption
+analysis (inherently schedule-structural) then runs through ``ctx.map``.
 """
 
 from __future__ import annotations
@@ -16,38 +21,53 @@ import numpy as np
 
 from repro.algorithms.wdeq import wdeq_schedule
 from repro.analysis.preemptions import preemption_report
+from repro.core.instance import Instance
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import cluster_instances
 
 __all__ = ["run"]
 
 
+def _report_from_wdeq(instance: Instance):
+    """Scalar path: WDEQ completion times then the preemption analysis."""
+    completion_times = wdeq_schedule(instance).completion_times_by_task()
+    return preemption_report(instance, completion_times)
+
+
+def _report_from_times(pair):
+    """Vectorized path: the batched kernel already produced the times."""
+    instance, completion_times = pair
+    return preemption_report(instance, completion_times)
+
+
 def run(
     sizes: Sequence[int] = (5, 10, 20, 50, 100),
     count: int = 10,
-    seed: int = 0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Measure preemption counts against the n and 3n bounds."""
-    if paper_scale:
-        count = 100
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 100)
     rows: list[list[object]] = []
     all_within = True
     for n in sizes:
-        rng = np.random.default_rng(seed)
-        frac_ratios = []
-        frac_raw_ratios = []
-        preempt_per_task = []
-        within = 0
-        total = 0
-        for instance in cluster_instances(n, count, rng=rng):
-            completion_times = wdeq_schedule(instance).completion_times_by_task()
-            report = preemption_report(instance, completion_times)
-            frac_ratios.append(report.fractional_changes / max(report.fractional_bound, 1))
-            frac_raw_ratios.append(report.fractional_changes_raw / max(report.fractional_bound, 1))
-            preempt_per_task.append(report.preemptions / max(report.n, 1))
-            within += int(report.within_bounds)
-            total += 1
+        instances = list(cluster_instances(n, count, rng=ctx.rng()))
+        if ctx.vectorized:
+            from repro.batch.kernels import PaddedBatch, wdeq_batch
+
+            completions = wdeq_batch(PaddedBatch.from_instances(instances))
+            reports = ctx.map(
+                _report_from_times,
+                [(inst, completions[b, : inst.n]) for b, inst in enumerate(instances)],
+            )
+        else:
+            reports = ctx.map(_report_from_wdeq, instances)
+        frac_ratios = [r.fractional_changes / max(r.fractional_bound, 1) for r in reports]
+        frac_raw_ratios = [r.fractional_changes_raw / max(r.fractional_bound, 1) for r in reports]
+        preempt_per_task = [r.preemptions / max(r.n, 1) for r in reports]
+        within = sum(int(r.within_bounds) for r in reports)
+        total = len(reports)
         all_within = all_within and within == total
         rows.append(
             [

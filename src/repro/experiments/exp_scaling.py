@@ -15,14 +15,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro.algorithms.greedy import greedy_completion_times
 from repro.algorithms.lateness import minimize_max_lateness
 from repro.algorithms.makespan import minimal_makespan
 from repro.algorithms.water_filling import water_filling_schedule
 from repro.algorithms.wdeq import wdeq_schedule
 from repro.core.instance import Instance
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.lp.interface import solve_ordered_relaxation
 from repro.workloads.generators import cluster_instances
@@ -60,24 +59,26 @@ def run(
     simplex_sizes: Sequence[int] = (5, 10),
     batch_sizes: Sequence[int] = (64,),
     batch_task_count: int = 32,
-    seed: int = 0,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Measure runtimes of the polynomial solvers and the LP backends.
 
     In addition to the per-instance solver timings, the experiment measures
     the batched-execution substrate: for each ``B`` in ``batch_sizes`` it
     compares ``B`` scalar WDEQ runs against one vectorized
-    :func:`repro.batch.kernels.wdeq_batch` call on the padded batch, and
-    reports the throughput gain in the summary.  Pass ``batch_sizes=()`` to
-    skip that section.
+    :func:`repro.batch.kernels.wdeq_batch` call, and ``B`` scalar
+    discrete-event simulations against one
+    :func:`repro.batch.sim_kernels.simulate_batch` call, reporting both
+    throughput gains in the summary.  Pass ``batch_sizes=()`` to skip that
+    section.
     """
-    if paper_scale:
+    ctx = ctx if ctx is not None else ExecutionContext()
+    if ctx.paper_scale:
         sizes = (10, 50, 200, 500, 1000, 2000)
         lp_sizes = (5, 10, 20, 40)
         batch_sizes = (64, 256, 1024)
     rows: list[list[object]] = []
-    rng = np.random.default_rng(seed)
+    rng = ctx.rng()
     instances: dict[int, Instance] = {}
     for n in sorted(set(sizes) | set(lp_sizes) | set(simplex_sizes)):
         instances[n] = next(cluster_instances(n, 1, rng=rng))
@@ -136,8 +137,11 @@ def run(
     ]
     for B in batch_sizes:
         from repro.batch.kernels import PaddedBatch, wdeq_batch
+        from repro.batch.sim_kernels import WdeqBatchPolicy, simulate_batch
+        from repro.simulation.engine import simulate
+        from repro.simulation.policies import WdeqPolicy
 
-        batch_rng = np.random.default_rng(seed + 1)
+        batch_rng = ctx.rng(1)
         batch_instances = list(cluster_instances(batch_task_count, B, rng=batch_rng))
         serial_time = _time_call(
             lambda: [wdeq_schedule(inst) for inst in batch_instances]
@@ -158,11 +162,35 @@ def run(
             ]
         )
         summary[f"wdeq_batch speedup (B={B})"] = f"{speedup:.1f}x"
+
+        sim_serial_time = _time_call(
+            lambda: [simulate(inst, WdeqPolicy()) for inst in batch_instances], repeats=1
+        )
+        sim_batch_time = _time_call(
+            lambda: simulate_batch(padded, WdeqBatchPolicy()), repeats=1
+        )
+        sim_speedup = sim_serial_time / sim_batch_time if sim_batch_time > 0 else float("inf")
+        rows.append(
+            [
+                f"B={B} x n={batch_task_count} (event sim)",
+                f"{sim_serial_time * 1e3:.2f} (serial)",
+                f"{sim_batch_time * 1e3:.2f} (batched)",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+            ]
+        )
+        summary[f"simulate_batch speedup (B={B})"] = f"{sim_speedup:.1f}x"
     if batch_sizes:
         notes.append(
-            "The B=... rows compare B scalar WDEQ simulations against one vectorized "
-            "repro.batch.kernels.wdeq_batch call on the padded batch (columns 2 and 3 "
-            "reuse the WDEQ slots: serial total vs batched total)."
+            "The B=... rows compare B scalar runs against one vectorized call on the padded "
+            "batch (columns 2 and 3 reuse the WDEQ slots: serial total vs batched total); "
+            "the plain rows use the closed-form repro.batch.kernels.wdeq_batch kernel, the "
+            "'(event sim)' rows the batched discrete-event engine "
+            "repro.batch.sim_kernels.simulate_batch against the scalar "
+            "repro.simulation.engine.simulate."
         )
     return ExperimentResult(
         experiment_id="E7",

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.algorithms.greedy import best_greedy_schedule
 from repro.algorithms.optimal import optimal_schedule
-from repro.experiments.base import ExperimentResult, map_instances
+from repro.exec import ExecutionContext
+from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import large_delta_instances
 
 __all__ = ["run", "optimal_schedule_structure_ok", "measure_instance"]
@@ -64,26 +65,23 @@ def measure_instance(instance, backend: str = "scipy") -> tuple[float, bool]:
 def run(
     sizes: Sequence[int] = (2, 3, 4, 5, 6),
     count: int = 25,
-    seed: int = 0,
     backend: str = "scipy",
     tolerance: float = 1e-6,
-    paper_scale: bool = False,
-    runner=None,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Compare best greedy and optimal on delta > P/2, homogeneous-weight instances.
 
-    Pass a :class:`repro.batch.runner.BatchRunner` to spread the
-    per-instance greedy-vs-LP comparisons over its workers.
+    The per-instance greedy-vs-LP comparisons run through ``ctx.map`` and
+    are spread over the context's worker pool when it has one.
     """
-    if paper_scale:
-        count = 1_000
+    ctx = ctx if ctx is not None else ExecutionContext()
+    count = ctx.scale(count, 1_000)
     measure = functools.partial(measure_instance, backend=backend)
     rows: list[list[object]] = []
     worst_gap = 0.0
     structure_all = True
     for n in sizes:
-        rng = np.random.default_rng(seed)
-        measured = map_instances(measure, large_delta_instances(n, count, P=1.0, rng=rng), runner)
+        measured = ctx.map(measure, large_delta_instances(n, count, P=1.0, rng=ctx.rng()))
         gaps = [gap for gap, _ in measured]
         structure_ok = sum(int(ok) for _, ok in measured)
         gaps_arr = np.array(gaps)

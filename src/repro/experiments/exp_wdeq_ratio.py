@@ -9,14 +9,14 @@ completion times.  The experiment measures the achieved ratio
 and compares WDEQ to the baselines it generalises (DEQ, the cap-less
 weighted fair share) and to the clairvoyant Smith-priority policy.
 
-Execution options: pass a :class:`repro.batch.runner.BatchRunner` to spread
-the per-instance measurements over workers, and/or ``use_batch=True`` to
-compute the large-instance WDEQ ratios with the vectorized
-:func:`repro.batch.kernels.wdeq_ratio_batch` kernel (one padded NumPy sweep
-per size, replacing the per-instance WDEQ simulation, which is then dropped
-from the policy-comparison pass).  The other baseline policies still need
-the event-driven simulation — ``--workers`` is the lever that spreads that
-remaining cost.
+On a vectorized :class:`repro.exec.ExecutionContext` the whole
+large-instance section runs on the padded-batch substrate: the WDEQ ratios
+come from the closed-form :func:`repro.batch.kernels.wdeq_ratio_batch`
+kernel, and the baseline policies are executed by the batched discrete-event
+engine (:func:`repro.batch.sim_kernels.policy_ratios_batch`) instead of one
+scalar simulation per instance — one NumPy sweep per size and policy.  On
+the other backends the historical per-instance path runs through
+``ctx.map``.
 """
 
 from __future__ import annotations
@@ -24,11 +24,10 @@ from __future__ import annotations
 import functools
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.ratios import policy_ratios, wdeq_ratio
 from repro.analysis.stats import summarize
-from repro.experiments.base import ExperimentResult, map_instances
+from repro.exec import ExecutionContext
+from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import cluster_instances, uniform_instances
 
 __all__ = ["run"]
@@ -39,15 +38,12 @@ def run(
     small_count: int = 20,
     large_sizes: Sequence[int] = (10, 25, 50),
     large_count: int = 10,
-    seed: int = 0,
-    paper_scale: bool = False,
-    runner=None,
-    use_batch: bool = False,
+    ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Measure WDEQ's ratio and compare online policies."""
-    if paper_scale:
-        small_count = 500
-        large_count = 100
+    ctx = ctx if ctx is not None else ExecutionContext()
+    small_count = ctx.scale(small_count, 500)
+    large_count = ctx.scale(large_count, 100)
     rows: list[list[object]] = []
     notes = [
         "The lower-bound denominator (Lemma 1 mixed bound) is itself below OPT, so the "
@@ -57,8 +53,7 @@ def run(
     max_ratio_exact = 0.0
     exact_ratio = functools.partial(wdeq_ratio, exact=True)
     for n in small_sizes:
-        rng = np.random.default_rng(seed)
-        ratios = map_instances(exact_ratio, uniform_instances(n, small_count, rng=rng), runner)
+        ratios = ctx.map(exact_ratio, uniform_instances(n, small_count, rng=ctx.rng()))
         stats = summarize(ratios)
         max_ratio_exact = max(max_ratio_exact, stats.maximum)
         rows.append(
@@ -66,28 +61,25 @@ def run(
         )
     max_ratio_bound = 0.0
     policy_means: dict[str, list[float]] = {}
-    # With use_batch the WDEQ ratios come from the vectorized kernel, so the
-    # per-instance simulation pass skips the (now redundant) WDEQ policy.
-    bound_ratio = functools.partial(
-        policy_ratios, exact=False, exclude=("WDEQ",) if use_batch else ()
-    )
+    bound_ratio = functools.partial(policy_ratios, exact=False)
     for n in large_sizes:
-        rng = np.random.default_rng(seed)
-        instances = list(cluster_instances(n, large_count, rng=rng))
-        if use_batch:
+        instances = list(cluster_instances(n, large_count, rng=ctx.rng()))
+        if ctx.vectorized:
             from repro.batch.kernels import PaddedBatch, wdeq_ratio_batch
+            from repro.batch.sim_kernels import default_batch_policies, policy_ratios_batch
 
-            ratios = wdeq_ratio_batch(PaddedBatch.from_instances(instances)).tolist()
-        else:
-            ratios = None
-        per_policy_list = map_instances(bound_ratio, instances, runner)
-        if ratios is None:
-            ratios = [per_policy["WDEQ"] for per_policy in per_policy_list]
-        else:
+            batch = PaddedBatch.from_instances(instances)
+            ratios = wdeq_ratio_batch(batch).tolist()
             policy_means.setdefault("WDEQ", []).extend(ratios)
-        for per_policy in per_policy_list:
-            for name, value in per_policy.items():
-                policy_means.setdefault(name, []).append(value)
+            baselines = [p for p in default_batch_policies(batch) if p.name != "WDEQ"]
+            for name, values in policy_ratios_batch(batch, policies=baselines).items():
+                policy_means.setdefault(name, []).extend(values.tolist())
+        else:
+            per_policy_list = ctx.map(bound_ratio, instances)
+            ratios = [per_policy["WDEQ"] for per_policy in per_policy_list]
+            for per_policy in per_policy_list:
+                for name, value in per_policy.items():
+                    policy_means.setdefault(name, []).append(value)
         stats = summarize(ratios)
         max_ratio_bound = max(max_ratio_bound, stats.maximum)
         rows.append(
@@ -104,12 +96,13 @@ def run(
         rows.append(
             [f"{name} / lower bound (all large n)", "-", stats.count, f"{stats.mean:.3f}", f"{stats.maximum:.3f}"]
         )
-    if use_batch:
+    if ctx.vectorized:
         notes.append(
-            "Large-instance WDEQ ratios computed by the vectorized batch kernel "
-            "(repro.batch.kernels.wdeq_ratio_batch) and excluded from the per-policy "
-            "simulation pass; the clairvoyantly-replayed schedule and the online engine "
-            "agree (asserted by the test suite), so the rows remain comparable."
+            "Large-instance section computed on the vectorized backend: WDEQ ratios by the "
+            "closed-form repro.batch.kernels.wdeq_ratio_batch kernel, baseline policies by "
+            "the batched discrete-event engine repro.batch.sim_kernels.simulate_batch; both "
+            "agree with the scalar per-instance path (asserted by the test suite), so the "
+            "rows remain comparable across backends."
         )
     return ExperimentResult(
         experiment_id="E5",

@@ -1,11 +1,23 @@
-"""Registry mapping experiment ids (DESIGN.md) to their run functions."""
+"""Registry mapping experiment ids (DESIGN.md) to their run functions.
+
+Execution options (seed, scale, backend, worker pool, cache) reach the
+experiments as a single :class:`repro.exec.ExecutionContext`.  The
+pre-context spelling — passing ``seed`` / ``paper_scale`` / ``runner`` /
+``use_batch`` / ``cache`` as plain keyword arguments to
+:func:`run_experiment` — is still accepted and translated into a context,
+but the backend-selection options are deprecated (see
+:func:`run_experiment`), and the signature-inspection filter
+:func:`accepted_kwargs` that used to route them is deprecated wholesale.
+"""
 
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Mapping
 
+from repro.exec import ExecutionContext
 from repro.experiments import (
     exp_bandwidth,
     exp_conjecture12,
@@ -28,33 +40,81 @@ __all__ = [
 ]
 
 
-#: Execution options the CLI / report runner pass to every experiment; an
-#: experiment that does not declare one simply never sees it.  Anything
-#: else is an experiment parameter: unknown ones stay in the kwargs so the
-#: run function raises its normal ``TypeError`` (typos must not silently
-#: fall back to defaults).
+#: The historical execution options, now bundled by ``ExecutionContext``.
+#: ``seed`` and ``paper_scale`` remain supported sugar on
+#: :func:`run_experiment`; the backend-selection trio (``runner``,
+#: ``use_batch``, ``cache``) is deprecated in favour of an explicit context.
 SHARED_EXECUTION_OPTIONS = frozenset({"seed", "paper_scale", "runner", "use_batch", "cache"})
+
+#: The subset whose keyword spelling triggers a :class:`DeprecationWarning`.
+DEPRECATED_EXECUTION_OPTIONS = frozenset({"runner", "use_batch", "cache"})
 
 
 def accepted_kwargs(fn: Callable, kwargs: dict) -> dict:
     """Drop the shared execution options ``fn``'s signature does not accept.
 
-    The experiments accept different execution options (``runner``,
-    ``use_batch``, ``cache``, ...); the CLI and the report runner build one
-    kwargs dict for all of them and rely on this filter, so adding an option
-    to one experiment never breaks the others.  Only the options in
-    :data:`SHARED_EXECUTION_OPTIONS` are filtered — a misspelled experiment
-    parameter is passed through and raises ``TypeError`` as before.
-    Functions taking ``**kwargs`` receive everything.
+    .. deprecated::
+        The experiments now receive execution options through one
+        :class:`repro.exec.ExecutionContext` parameter, so there is nothing
+        left to filter by signature.  Build a context (or pass the options to
+        :func:`run_experiment`, which builds one) instead.  This shim is kept
+        for one release so external callers migrate gracefully.
+
+    Only the options in :data:`SHARED_EXECUTION_OPTIONS` are filtered — a
+    misspelled experiment parameter is passed through and raises
+    ``TypeError`` as before.  Functions taking ``**kwargs`` also have the
+    *undeclared* execution options dropped: historically they received (and
+    silently swallowed) every option, which hid wiring mistakes — an
+    execution option now only reaches a function that names it explicitly.
     """
+    warnings.warn(
+        "accepted_kwargs is deprecated: pass a repro.exec.ExecutionContext to the "
+        "experiment (or its options to run_experiment) instead of filtering kwargs "
+        "by signature",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     parameters = inspect.signature(fn).parameters
-    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
-        return dict(kwargs)
+    named = {
+        name
+        for name, p in parameters.items()
+        if p.kind is not inspect.Parameter.VAR_KEYWORD
+    }
     return {
         name: value
         for name, value in kwargs.items()
-        if name in parameters or name not in SHARED_EXECUTION_OPTIONS
+        if name in named or name not in SHARED_EXECUTION_OPTIONS
     }
+
+
+def split_execution_options(kwargs: dict) -> dict:
+    """Pop the legacy execution options out of ``kwargs`` (in place).
+
+    Returns the popped options; warns when any deprecated backend-selection
+    option (``runner`` / ``use_batch`` / ``cache``) is used.
+    """
+    options = {
+        name: kwargs.pop(name) for name in list(kwargs) if name in SHARED_EXECUTION_OPTIONS
+    }
+    deprecated = sorted(DEPRECATED_EXECUTION_OPTIONS & options.keys())
+    if deprecated:
+        warnings.warn(
+            f"passing {', '.join(deprecated)} as keyword arguments is deprecated: "
+            "build a repro.exec.ExecutionContext (e.g. "
+            "ExecutionContext(backend='vectorized')) and pass it as ctx=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return options
+
+
+def build_context(
+    ctx: ExecutionContext | None, options: Mapping[str, Any]
+) -> ExecutionContext | None:
+    """Layer legacy execution options on top of ``ctx`` (both optional)."""
+    if options:
+        return ExecutionContext.from_legacy_kwargs(ctx, options)
+    return ctx
 
 
 @dataclass(frozen=True)
@@ -139,12 +199,22 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
         ) from exc
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, ctx: ExecutionContext | None = None, **params
+) -> ExperimentResult:
     """Run an experiment by id with the given keyword overrides.
 
-    Keyword arguments the experiment's ``run`` function does not accept are
-    silently dropped (see :func:`accepted_kwargs`), so shared execution
-    options like ``runner`` can be passed to every experiment uniformly.
+    ``ctx`` carries every execution option (seed, paper scale, backend,
+    workers, cache); the remaining keyword arguments are experiment
+    parameters and are forwarded verbatim, so a misspelled parameter raises
+    ``TypeError`` instead of silently falling back to a default.
+
+    For backward compatibility the legacy execution options are still
+    accepted as keywords — ``seed`` and ``paper_scale`` silently populate
+    the context, while ``runner`` / ``use_batch`` / ``cache`` do so with a
+    :class:`DeprecationWarning` — e.g. ``run_experiment("E5",
+    use_batch=True)`` behaves like ``run_experiment("E5",
+    ctx=ExecutionContext(backend="vectorized"))``.
     """
-    run = get_experiment(experiment_id).run
-    return run(**accepted_kwargs(run, kwargs))
+    ctx = build_context(ctx, split_execution_options(params))
+    return get_experiment(experiment_id).run(ctx=ctx, **params)

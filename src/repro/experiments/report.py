@@ -5,30 +5,36 @@ from __future__ import annotations
 import datetime
 from typing import Iterable, Sequence
 
+from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, accepted_kwargs
+from repro.experiments.registry import EXPERIMENTS, build_context, split_execution_options
 
 __all__ = ["run_all", "render_markdown_report"]
 
 
 def run_all(
     experiment_ids: Sequence[str] | None = None,
-    paper_scale: bool = False,
+    ctx: ExecutionContext | None = None,
     **kwargs,
 ) -> list[ExperimentResult]:
     """Run every (or the selected) experiment and collect the results.
 
-    Keyword arguments are forwarded to every experiment that accepts them
-    (they all accept ``seed`` and ``paper_scale``; execution options such as
-    ``runner`` or ``use_batch`` reach only the experiments that support
-    them).
+    All execution options travel in ``ctx`` (the same context is handed to
+    every experiment, so ``malleable-repro all --batch --workers N``
+    exercises one code path end to end).  Remaining keyword arguments are
+    experiment parameters forwarded verbatim to every selected experiment —
+    useful when selecting a single experiment, and a ``TypeError`` when a
+    parameter does not fit one of the selected experiments.  The legacy
+    execution keywords (``seed``, ``paper_scale``, and the deprecated
+    ``runner`` / ``use_batch`` / ``cache``) are still translated into the
+    context.
     """
+    ctx = build_context(ctx, split_execution_options(kwargs))
     ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
     results = []
     for experiment_id in ids:
         spec = EXPERIMENTS[experiment_id.upper()]
-        run_kwargs = accepted_kwargs(spec.run, {"paper_scale": paper_scale, **kwargs})
-        results.append(spec.run(**run_kwargs))
+        results.append(spec.run(ctx=ctx, **kwargs))
     return results
 
 

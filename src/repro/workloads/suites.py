@@ -12,6 +12,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.core.batch import InstanceBatch
 from repro.core.instance import Instance
 from repro.workloads import generators
 
@@ -55,6 +56,19 @@ class WorkloadSuite:
         """Yield ``count`` instances of size ``n`` (reproducible for a given seed)."""
         rng = np.random.default_rng(seed)
         return self.factory(n, count if count is not None else self.default_count, rng)
+
+    def generate_batch(
+        self, n: int, count: int | None = None, seed: int | None = 0
+    ) -> InstanceBatch:
+        """The same workload as :meth:`generate`, packed as one struct-of-arrays batch.
+
+        This is the native entry point of the vectorized execution backend:
+        the kernels in :mod:`repro.batch` consume the returned
+        :class:`~repro.core.batch.InstanceBatch` directly, and
+        ``batch.to_instances()`` recovers exactly the instances
+        :meth:`generate` would have yielded (same seed, same stream).
+        """
+        return InstanceBatch.from_instances(self.generate(n, count, seed))
 
 
 def _uniform(n: int, count: int, rng: np.random.Generator) -> Iterator[Instance]:

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro import Instance, Task
+from repro import Instance
 from repro.analysis.conjectures import check_conjecture12, check_conjecture13
 from repro.analysis.orderings import (
     OrderingStructure,

@@ -342,15 +342,23 @@ class TestExperimentIntegration:
         def fn(a, b=1):
             return a + b
 
-        assert accepted_kwargs(fn, {"a": 1, "b": 2, "runner": None}) == {"a": 1, "b": 2}
+        with pytest.deprecated_call():
+            assert accepted_kwargs(fn, {"a": 1, "b": 2, "runner": None}) == {"a": 1, "b": 2}
         # A misspelled experiment parameter is NOT dropped: it must reach fn
         # and raise TypeError rather than silently fall back to the default.
-        assert "typo_param" in accepted_kwargs(fn, {"a": 1, "typo_param": 5})
+        with pytest.deprecated_call():
+            assert "typo_param" in accepted_kwargs(fn, {"a": 1, "typo_param": 5})
 
         def fn_var(**kwargs):
             return kwargs
 
-        assert accepted_kwargs(fn_var, {"x": 1}) == {"x": 1}
+        # Ordinary parameters still flow into **kwargs ...
+        with pytest.deprecated_call():
+            assert accepted_kwargs(fn_var, {"x": 1}) == {"x": 1}
+        # ... but *undeclared* execution options no longer get silently
+        # swallowed by the var-keyword signature.
+        with pytest.deprecated_call():
+            assert accepted_kwargs(fn_var, {"x": 1, "use_batch": True}) == {"x": 1}
 
     def test_run_experiment_rejects_misspelled_parameter(self):
         from repro.experiments.registry import run_experiment
@@ -370,12 +378,17 @@ class TestExperimentIntegration:
         assert a != c
 
     def test_e5_batch_matches_serial_rows(self):
+        from repro.exec import ExecutionContext
         from repro.experiments.registry import run_experiment
 
         kwargs = dict(small_sizes=(2,), small_count=2, large_sizes=(8,), large_count=3)
         serial = run_experiment("E5", **kwargs)
-        batched = run_experiment("E5", use_batch=True, **kwargs)
+        batched = run_experiment("E5", ctx=ExecutionContext(backend="vectorized"), **kwargs)
         assert serial.rows == batched.rows
+        # The deprecated keyword spelling still works, with a warning.
+        with pytest.deprecated_call():
+            legacy = run_experiment("E5", use_batch=True, **kwargs)
+        assert legacy.rows == batched.rows
 
 
 # --------------------------------------------------------------------- #

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, context_from_args, main
 
 
 class TestParser:
@@ -15,9 +15,17 @@ class TestParser:
     def test_run_command(self):
         args = build_parser().parse_args(["run", "E1", "--seed", "7"])
         assert args.command == "run"
-        assert args.experiment == "E1"
+        assert args.experiments == ["E1"]
         assert args.seed == 7
         assert args.paper_scale is False
+
+    def test_run_accepts_multiple_experiments(self):
+        args = build_parser().parse_args(["run", "E1", "E5", "E8"])
+        assert args.experiments == ["E1", "E5", "E8"]
+
+    def test_run_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
 
     def test_all_command_with_output(self):
         args = build_parser().parse_args(["all", "--output", "report.md", "--paper-scale"])
@@ -25,17 +33,54 @@ class TestParser:
         assert args.output == "report.md"
         assert args.paper_scale is True
 
-    def test_batch_and_workers_flags(self):
-        args = build_parser().parse_args(["run", "E5", "--batch", "--workers", "4"])
+    def test_batch_workers_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E5", "--batch", "--workers", "4", "--cache-dir", "/tmp/x"]
+        )
         assert args.batch is True
         assert args.workers == 4
+        assert args.cache_dir == "/tmp/x"
         args = build_parser().parse_args(["all"])
         assert args.batch is False
         assert args.workers == 0
+        assert args.cache_dir is None
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestContextFromArgs:
+    def test_serial_by_default(self):
+        ctx = context_from_args(build_parser().parse_args(["run", "E1", "--seed", "7"]))
+        assert ctx.backend == "serial"
+        assert ctx.seed == 7
+        assert ctx.runner is None and ctx.cache is None
+
+    def test_batch_and_workers_build_vectorized_context_with_pool(self):
+        args = build_parser().parse_args(["run", "E5", "--batch", "--workers", "3"])
+        ctx = context_from_args(args)
+        try:
+            assert ctx.backend == "vectorized"
+            assert ctx.vectorized is True
+            assert ctx.runner is not None and ctx.runner.workers == 3
+        finally:
+            ctx.close()
+
+    def test_workers_alone_build_process_pool_context(self):
+        args = build_parser().parse_args(["run", "E5", "--workers", "2"])
+        ctx = context_from_args(args)
+        try:
+            assert ctx.backend == "process-pool"
+            assert ctx.runner is not None and ctx.runner.workers == 2
+        finally:
+            ctx.close()
+
+    def test_cache_dir_attaches_persistent_cache(self, tmp_path):
+        args = build_parser().parse_args(["run", "E1", "--cache-dir", str(tmp_path / "c")])
+        ctx = context_from_args(args)
+        assert ctx.cache is not None
+        assert (tmp_path / "c").is_dir()
 
 
 class TestMain:
@@ -48,10 +93,19 @@ class TestMain:
         with pytest.raises(KeyError):
             main(["run", "E42"])
 
-    def test_execution_kwargs_build_runner(self):
-        from repro.cli import _execution_kwargs, build_parser
+    def test_run_multiple_experiments_prints_each(self, capsys):
+        assert main(["run", "E3", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[E3]") == 2
 
-        args = build_parser().parse_args(["run", "E5", "--workers", "3", "--batch"])
-        kwargs = _execution_kwargs(args)
-        assert kwargs["use_batch"] is True
-        assert kwargs["runner"].workers == 3
+    def test_cache_dir_persists_across_invocations(self, tmp_path, capsys):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "E3", "--cache-dir", str(cache_dir)]) == 0
+        cache_file = cache_dir / "results-cache.json"
+        assert cache_file.is_file()
+        json.loads(cache_file.read_text())  # valid JSON payload
+        # A second invocation reloads the persisted cache without error.
+        assert main(["run", "E3", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()

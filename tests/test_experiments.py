@@ -65,7 +65,7 @@ class TestExperimentRuns:
         assert len(result.rows) == 2
         assert result.summary["table I coverage rows"] == 9
 
-    def test_e7_batch_throughput_row(self):
+    def test_e7_batch_throughput_rows(self):
         result = run_experiment(
             "E7",
             sizes=(),
@@ -74,9 +74,11 @@ class TestExperimentRuns:
             batch_sizes=(16,),
             batch_task_count=8,
         )
-        assert len(result.rows) == 1
+        assert len(result.rows) == 2
         assert result.rows[0][0] == "B=16 x n=8"
+        assert result.rows[1][0] == "B=16 x n=8 (event sim)"
         assert "wdeq_batch speedup (B=16)" in result.summary
+        assert "simulate_batch speedup (B=16)" in result.summary
 
     def test_e8_bandwidth(self):
         result = run_experiment("E8", worker_counts=(5,), count=2)

@@ -1,0 +1,269 @@
+"""Property tests: the batched discrete-event simulation equals the scalar one.
+
+For random padded batches (mixed sizes, degenerate one-task rows), random
+policies and random release patterns, the lockstep kernel of
+:mod:`repro.batch.sim_kernels` must produce the same completion times and
+the same event trace (releases, reshare decisions with their allocations,
+completion order) as running :func:`repro.simulation.engine.simulate` on
+every row separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import policy_ratios
+from repro.batch.sim_kernels import (
+    BatchPolicy,
+    DeqBatchPolicy,
+    FairShareNoCapBatchPolicy,
+    PriorityBatchPolicy,
+    WdeqBatchPolicy,
+    default_batch_policies,
+    policy_ratios_batch,
+    simulate_batch,
+)
+from repro.core.batch import InstanceBatch
+from repro.core.exceptions import InvalidInstanceError, SimulationError
+from repro.core.instance import Instance, Task
+from repro.simulation.engine import simulate
+from repro.simulation.nonclairvoyant import default_policies
+from repro.workloads.generators import cluster_instances
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def instances(draw, min_tasks: int = 1, max_tasks: int = 6):
+    """One random instance with well-conditioned parameters."""
+    n = draw(st.integers(min_tasks, max_tasks))
+    P = draw(st.floats(0.5, 4.0, **finite))
+    tasks = []
+    for _ in range(n):
+        volume = draw(st.floats(0.05, 10.0, **finite))
+        weight = draw(st.floats(0.05, 10.0, **finite))
+        delta = draw(st.floats(0.05, 1.0, **finite)) * P
+        tasks.append(Task(volume=volume, weight=weight, delta=delta))
+    return Instance(P=P, tasks=tasks)
+
+
+@st.composite
+def instance_batches(draw, max_batch: int = 5):
+    """A batch of random instances of *mixed* sizes (padding is exercised)."""
+    return draw(st.lists(instances(), min_size=1, max_size=max_batch))
+
+
+@st.composite
+def batches_with_releases(draw, max_batch: int = 4):
+    """Instances plus well-separated release times (multiples of 1/2)."""
+    insts = draw(instance_batches(max_batch=max_batch))
+    releases = [
+        [draw(st.sampled_from([0.0, 0.5, 1.0, 2.0, 3.5])) for _ in range(inst.n)]
+        for inst in insts
+    ]
+    return insts, releases
+
+
+def _padded_releases(batch: InstanceBatch, releases: list[list[float]]) -> np.ndarray:
+    padded = np.zeros((batch.batch_size, batch.n_max))
+    for b, row in enumerate(releases):
+        padded[b, : len(row)] = row
+    return padded
+
+
+def _scalar_policy(instance: Instance, name: str):
+    matches = [p for p in default_policies(instance) if p.name == name]
+    assert matches, f"no scalar policy named {name!r}"
+    return matches[0]
+
+
+def _assert_traces_match(batch_trace, scalar_trace) -> None:
+    assert len(batch_trace.reshare_events) == len(scalar_trace.reshare_events)
+    for batch_event, scalar_event in zip(
+        batch_trace.reshare_events, scalar_trace.reshare_events
+    ):
+        assert batch_event.time == pytest.approx(scalar_event.time, rel=1e-7, abs=1e-9)
+        assert set(batch_event.allocation) == set(scalar_event.allocation)
+        for task, rate in batch_event.allocation.items():
+            assert rate == pytest.approx(scalar_event.allocation[task], rel=1e-7, abs=1e-9)
+    assert [(e.time, e.task) for e in batch_trace.release_events] == [
+        (e.time, e.task) for e in scalar_trace.release_events
+    ]
+    assert batch_trace.completion_order() == scalar_trace.completion_order()
+    for batch_event, scalar_event in zip(
+        batch_trace.completion_events, scalar_trace.completion_events
+    ):
+        assert batch_event.time == pytest.approx(scalar_event.time, rel=1e-7, abs=1e-9)
+
+
+# --------------------------------------------------------------------- #
+# Equivalence with the scalar engine
+# --------------------------------------------------------------------- #
+
+
+class TestSimulateBatchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(instance_batches())
+    def test_all_policies_match_scalar_completions_and_traces(self, insts):
+        batch = InstanceBatch.from_instances(insts)
+        for batch_policy in default_batch_policies(batch):
+            result = simulate_batch(batch, batch_policy, record_trace=True)
+            assert result.completion_times.shape == (batch.batch_size, batch.n_max)
+            for b, inst in enumerate(insts):
+                scalar = simulate(inst, _scalar_policy(inst, batch_policy.name))
+                np.testing.assert_allclose(
+                    result.completion_times[b, : inst.n],
+                    scalar.completion_times,
+                    rtol=1e-7,
+                    atol=1e-9,
+                )
+                assert np.all(result.completion_times[b, inst.n :] == 0.0)
+                _assert_traces_match(result.traces[b], scalar.trace)
+
+    @settings(max_examples=20, deadline=None)
+    @given(batches_with_releases())
+    def test_release_patterns_match_scalar(self, insts_and_releases):
+        insts, releases = insts_and_releases
+        batch = InstanceBatch.from_instances(insts)
+        padded = _padded_releases(batch, releases)
+        for batch_policy in default_batch_policies(batch):
+            result = simulate_batch(batch, batch_policy, release_times=padded, record_trace=True)
+            for b, inst in enumerate(insts):
+                scalar = simulate(
+                    inst, _scalar_policy(inst, batch_policy.name), release_times=releases[b]
+                )
+                np.testing.assert_allclose(
+                    result.completion_times[b, : inst.n],
+                    scalar.completion_times,
+                    rtol=1e-7,
+                    atol=1e-9,
+                )
+                _assert_traces_match(result.traces[b], scalar.trace)
+
+    @settings(max_examples=15, deadline=None)
+    @given(instance_batches(max_batch=4))
+    def test_objective_helpers_match_scalar(self, insts):
+        batch = InstanceBatch.from_instances(insts)
+        result = simulate_batch(batch, WdeqBatchPolicy())
+        values = result.weighted_completion_times()
+        spans = result.makespans()
+        for b, inst in enumerate(insts):
+            scalar = simulate(inst, _scalar_policy(inst, "WDEQ"))
+            assert values[b] == pytest.approx(scalar.weighted_completion_time(), rel=1e-7)
+            assert spans[b] == pytest.approx(scalar.makespan(), rel=1e-7)
+
+    @settings(max_examples=10, deadline=None)
+    @given(instance_batches(max_batch=4))
+    def test_policy_ratios_batch_matches_scalar(self, insts):
+        batch = InstanceBatch.from_instances(insts)
+        batched = policy_ratios_batch(batch)
+        for b, inst in enumerate(insts):
+            scalar = policy_ratios(inst, exact=False)
+            assert set(batched) == set(scalar)
+            for name, ratios in batched.items():
+                assert ratios[b] == pytest.approx(scalar[name], rel=1e-7)
+
+    def test_event_counts_are_bounded(self):
+        insts = list(cluster_instances(10, 6, rng=np.random.default_rng(0)))
+        batch = InstanceBatch.from_instances(insts)
+        result = simulate_batch(batch, DeqBatchPolicy(), record_trace=True)
+        for b, trace in enumerate(result.traces):
+            assert result.num_events[b] >= trace.num_reshares
+            assert result.num_events[b] <= 8 * insts[b].n + 16
+
+
+# --------------------------------------------------------------------- #
+# Engine validation / error paths
+# --------------------------------------------------------------------- #
+
+
+class _Oversubscribe(BatchPolicy):
+    name = "greedy-all"
+
+    def allocate(self, P, weights, deltas, work_done, elapsed, active):
+        return np.where(active, P[:, None], 0.0)
+
+
+class _Lazy(BatchPolicy):
+    name = "lazy"
+
+    def allocate(self, P, weights, deltas, work_done, elapsed, active):
+        return np.zeros_like(weights)
+
+
+class _Negative(BatchPolicy):
+    name = "negative"
+
+    def allocate(self, P, weights, deltas, work_done, elapsed, active):
+        return np.where(active, -1.0, 0.0)
+
+
+class TestSimulateBatchValidation:
+    def _batch(self):
+        inst = Instance(P=2.0, tasks=[Task(1, 1, 2), Task(1, 1, 2)])
+        return InstanceBatch.from_instances([inst])
+
+    def test_oversubscribing_policy_rejected(self):
+        with pytest.raises(SimulationError, match="over-subscribed"):
+            simulate_batch(self._batch(), _Oversubscribe())
+
+    def test_stalling_policy_rejected(self):
+        with pytest.raises(SimulationError, match="stalled"):
+            simulate_batch(self._batch(), _Lazy())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError, match="negative rate"):
+            simulate_batch(self._batch(), _Negative())
+
+    def test_bad_release_shape_rejected(self):
+        with pytest.raises(SimulationError, match="shape"):
+            simulate_batch(self._batch(), WdeqBatchPolicy(), release_times=np.zeros(3))
+        with pytest.raises(SimulationError, match="non-negative"):
+            simulate_batch(
+                self._batch(), WdeqBatchPolicy(), release_times=np.full((1, 2), -1.0)
+            )
+
+    def test_zero_weight_rejected_by_wdeq(self):
+        inst = Instance(P=1.0, tasks=[Task(volume=1.0, weight=0.0, delta=0.5)])
+        with pytest.raises(InvalidInstanceError):
+            simulate_batch(InstanceBatch.from_instances([inst]), WdeqBatchPolicy())
+
+    def test_priority_policy_tie_break_matches_scalar(self):
+        # Equal priorities: the scalar policy serves ascending task index.
+        inst = Instance(P=1.0, tasks=[Task(2, 1, 0.8), Task(2, 1, 0.8), Task(2, 1, 0.8)])
+        batch = InstanceBatch.from_instances([inst])
+        result = simulate_batch(
+            batch, PriorityBatchPolicy(priorities=np.zeros((1, 3))), record_trace=True
+        )
+        from repro.simulation.policies import PriorityPolicy
+
+        scalar = simulate(inst, PriorityPolicy(priorities=[0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(
+            result.completion_times[0], scalar.completion_times, rtol=1e-9
+        )
+        assert result.traces[0].completion_order() == scalar.trace.completion_order()
+
+    def test_fair_share_requires_positive_weights(self):
+        # Weight zero with the fair-share policy: the total weight is zero.
+        inst = Instance(P=1.0, tasks=[Task(volume=1.0, weight=0.0, delta=0.5)])
+        with pytest.raises(SimulationError, match="positive weights"):
+            simulate_batch(
+                InstanceBatch.from_instances([inst]), FairShareNoCapBatchPolicy()
+            )
+
+    def test_released_only_rows_finish_while_others_wait(self):
+        # Row 0 has immediate work, row 1 waits for its release: both finish.
+        a = Instance(P=1.0, tasks=[Task(1, 1, 1)])
+        b = Instance(P=1.0, tasks=[Task(1, 1, 1)])
+        batch = InstanceBatch.from_instances([a, b])
+        releases = np.array([[0.0], [5.0]])
+        result = simulate_batch(batch, DeqBatchPolicy(), release_times=releases)
+        assert result.completion_times[0, 0] == pytest.approx(1.0)
+        assert result.completion_times[1, 0] == pytest.approx(6.0)
