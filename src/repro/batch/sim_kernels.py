@@ -22,6 +22,20 @@ What the batched kernel does **not** build is the piecewise-constant
 the full schedule reconstruction (Gantt charts, schedule validation) use the
 scalar engine; the batch path is for sweeps where only completion times,
 objectives and event counts matter.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.batch.sim_kernels import WdeqBatchPolicy, simulate_batch
+>>> from repro.core.batch import InstanceBatch
+>>> from repro.workloads.generators import cluster_instances
+>>> batch = InstanceBatch.from_instances(
+...     cluster_instances(8, 16, rng=np.random.default_rng(0)))
+>>> result = simulate_batch(batch, WdeqBatchPolicy())
+>>> result.completion_times.shape
+(16, 8)
+>>> result.weighted_completion_times().shape
+(16,)
 """
 
 from __future__ import annotations

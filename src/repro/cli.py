@@ -23,14 +23,22 @@ work over 8 worker processes, with results cached across invocations::
 
     malleable-repro all --batch --workers 8 --cache-dir .repro-cache
 
+Run a declarative scenario sweep (a committed TOML spec or a registry
+name), preview its grid, and persist the results store::
+
+    malleable-repro sweep scenarios/poisson_bursts.toml --dry-run
+    malleable-repro sweep bursty-poisson --batch --output-dir results/
+    malleable-repro sweep --list
+
 Every execution flag maps onto one :class:`repro.exec.ExecutionContext`
-that is handed to every experiment — the CLI contains no per-experiment
-execution wiring.
+that is handed to every experiment and sweep — the CLI contains no
+per-experiment execution wiring.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -68,6 +76,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Markdown report to this path (default: print text to stdout)",
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a declarative scenario sweep (TOML file or registry name)"
+    )
+    sweep_parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help=(
+            "path to a scenario TOML file (see scenarios/*.toml) or the name of a "
+            "built-in scenario (e.g. bursty-poisson; see `sweep --list`)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the built-in scenarios and exit",
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded parameter grid without running anything",
+    )
+    sweep_parser.add_argument(
+        "--output-dir",
+        default=None,
+        help=(
+            "persist results to this directory (results.jsonl + summary.md) through "
+            "a repro.scenarios.ResultsStore"
+        ),
+    )
+    _add_execution_arguments(sweep_parser)
     return parser
 
 
@@ -114,6 +155,45 @@ def context_from_args(args: argparse.Namespace) -> ExecutionContext:
     )
 
 
+def _resolve_spec(reference: str):
+    """A scenario spec from a TOML path or a registry name."""
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if reference.endswith(".toml") or os.sep in reference or os.path.isfile(reference):
+        return ScenarioSpec.from_toml(reference)
+    return get_scenario(reference)
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """The ``sweep`` subcommand: expand, execute, persist, print."""
+    from repro.scenarios import ResultsStore, SweepRunner
+
+    if args.list_scenarios:
+        from repro.scenarios import SCENARIOS
+
+        rows = [[spec.name, spec.pipeline, spec.description] for spec in SCENARIOS.values()]
+        print(format_table(["name", "pipeline", "description"], sorted(rows)))
+        return 0
+    if args.spec is None:
+        raise SystemExit("sweep: a spec (TOML path or scenario name) is required unless --list")
+
+    spec = _resolve_spec(args.spec)
+    with context_from_args(args) as ctx:
+        runner = SweepRunner(spec, ctx)
+        if args.dry_run:
+            headers, rows = runner.dry_run_table()
+            print(f"sweep {spec.name!r}: {len(rows)} cell(s), pipeline {spec.pipeline!r}")
+            print(format_table(headers, rows))
+            return 0
+        store = ResultsStore(args.output_dir) if args.output_dir else None
+        result = runner.run(store=store)
+    print(f"sweep {spec.name!r}: {len(result.records)} record(s)")
+    print(result.to_text())
+    if store is not None:
+        print(f"wrote {store.records_path} and {store.summary_path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``malleable-repro`` console script."""
     parser = build_parser()
@@ -138,6 +218,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     print()
                 print(result.to_text())
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     if args.command == "all":
         with context_from_args(args) as ctx:

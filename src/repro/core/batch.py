@@ -13,6 +13,21 @@ task names alongside the numeric arrays, and
 :meth:`InstanceBatch.to_instances` rebuilds the exact original instances
 (same ``P``, volumes, weights, caps and names), which the round-trip tests
 assert.
+
+Examples
+--------
+>>> from repro.core.instance import Instance, Task
+>>> from repro.core.batch import InstanceBatch
+>>> insts = [Instance(P=2.0, tasks=[Task(volume=1.0, weight=1.0, delta=1.0)]),
+...          Instance(P=4.0, tasks=[Task(volume=2.0, weight=3.0, delta=2.0),
+...                                 Task(volume=1.0, weight=1.0, delta=4.0)])]
+>>> batch = InstanceBatch.from_instances(insts)
+>>> batch.batch_size, batch.n_max
+(2, 2)
+>>> batch.mask.tolist()
+[[True, False], [True, True]]
+>>> batch.to_instances() == insts
+True
 """
 
 from __future__ import annotations

@@ -1,4 +1,12 @@
-"""Common result container and execution helpers for all experiments."""
+"""Common result container and execution helpers for all experiments.
+
+Experiments return an :class:`ExperimentResult` (a small table plus notes
+and a machine-readable summary) and receive their execution options as one
+:class:`repro.exec.ExecutionContext`; per-instance loops go through
+``ctx.map`` — there is no keyword-argument filtering here (the historical
+``accepted_kwargs`` signature filter lives on, deprecated, in
+:mod:`repro.experiments.registry`).
+"""
 
 from __future__ import annotations
 
@@ -23,9 +31,14 @@ def map_instances(
     picklable (a module-level function or a :func:`functools.partial` of
     one) when the runner uses a process pool.
 
-    The experiments themselves now route their loops through
+    The experiments themselves route their loops through
     :meth:`repro.exec.ExecutionContext.map`, which delegates to the
     context's runner; this helper remains for direct library use.
+
+    Examples
+    --------
+    >>> map_instances(lambda x: x * 2, [1, 2, 3])
+    [2, 4, 6]
     """
     if runner is None:
         return [fn(instance) for instance in instances]

@@ -15,33 +15,23 @@ and reports both the throughput (jobs processed by ``T``) and the scheduling
 objective ``sum w_i C_i``.  The expected shape: WDEQ and greedy dominate the
 naive strategies, with greedy (clairvoyant) the best of all.
 
-Each random scenario is planned independently, so the per-scenario planning
-runs through ``ctx.map`` of the :class:`repro.exec.ExecutionContext`.
+The sweep itself is the registry scenario ``e8-bandwidth-strategies`` (see
+:mod:`repro.scenarios.registry`) run through the ``bandwidth`` pipeline of
+:class:`repro.scenarios.runner.SweepRunner`; grid cells shard over the
+context's worker pool, and ``malleable-repro sweep e8-bandwidth-strategies``
+reproduces the raw table standalone.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.bandwidth.network import BandwidthScenario
-from repro.bandwidth.transfer import plan_transfers
 from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import SweepRunner
 
 __all__ = ["run"]
-
-
-def _plan_metrics(scenario: BandwidthScenario) -> dict[str, tuple[float, float]]:
-    """Throughput and objective of every strategy on one scenario (picklable)."""
-    return {
-        plan.strategy: (
-            plan.throughput(scenario),
-            plan.weighted_completion_time(scenario),
-        )
-        for plan in plan_transfers(scenario)
-    }
 
 
 def run(
@@ -53,23 +43,25 @@ def run(
     """Compare transfer strategies on random master-worker scenarios."""
     ctx = ctx if ctx is not None else ExecutionContext()
     count = ctx.scale(count, 100)
+    spec = get_scenario("e8-bandwidth-strategies").with_overrides(
+        grid={"n": tuple(worker_counts)},
+        params={"horizon_slack": horizon_slack},
+        count=count,
+    )
+    sweep = SweepRunner(spec, ctx).run()
+
     rows: list[list[object]] = []
     wdeq_beats_naive = True
     greedy_best = True
-    for n in worker_counts:
-        rng = ctx.rng()
-        scenarios = [
-            BandwidthScenario.random(n, horizon_slack=horizon_slack, rng=rng)
-            for _ in range(count)
-        ]
-        throughput_by_strategy: dict[str, list[float]] = {}
-        objective_by_strategy: dict[str, list[float]] = {}
-        for metrics in ctx.map(_plan_metrics, scenarios):
-            for strategy, (throughput, objective) in metrics.items():
-                throughput_by_strategy.setdefault(strategy, []).append(throughput)
-                objective_by_strategy.setdefault(strategy, []).append(objective)
-        means = {name: float(np.mean(v)) for name, v in throughput_by_strategy.items()}
-        obj_means = {name: float(np.mean(v)) for name, v in objective_by_strategy.items()}
+    by_cell: dict[int, dict[str, dict[str, float]]] = {}
+    cell_sizes: dict[int, object] = {}
+    for record in sweep.records:
+        by_cell.setdefault(record["cell"], {})[record["label"]] = record["metrics"]
+        cell_sizes[record["cell"]] = record["params"].get("n", "-")
+    for cell in sorted(by_cell):
+        metrics = by_cell[cell]
+        means = {name: m["mean_throughput"] for name, m in metrics.items()}
+        obj_means = {name: m["mean_objective"] for name, m in metrics.items()}
         naive_best = max(means.get("sequential", 0.0), means.get("fair share (DEQ)", 0.0))
         wdeq_beats_naive = wdeq_beats_naive and means.get("WDEQ", 0.0) >= naive_best - 1e-9
         greedy_best = greedy_best and means.get(
@@ -78,7 +70,7 @@ def run(
         for name in sorted(means):
             rows.append(
                 [
-                    n,
+                    cell_sizes[cell],
                     name,
                     f"{means[name]:.1f}",
                     f"{obj_means[name]:.1f}",
@@ -102,5 +94,7 @@ def run(
         notes=[
             "Throughput counts w_i * max(0, T - C_i); the unclamped version is the exact "
             "linear equivalence used in the paper's Section I argument.",
+            "Rows come from the 'e8-bandwidth-strategies' scenario sweep (grid cells shard "
+            "over the context's worker pool).",
         ],
     )

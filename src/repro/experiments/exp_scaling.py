@@ -8,6 +8,13 @@ solvers) and of the fixed-ordering LP with both backends, as the task count
 grows — the paper claims O(n log n) for WF-based solvers, O(n^2) for the
 makespan algorithm of reference [10], and NP-hardness only for the weighted
 completion time objective itself.
+
+The polynomial-solver sweep is a scenario: its grid lives in the registry as
+``e7-solver-scaling`` (see :mod:`repro.scenarios.registry`) and runs through
+:class:`repro.scenarios.runner.SweepRunner`'s ``solver-timing`` pipeline, so
+``malleable-repro sweep e7-solver-scaling`` reproduces it standalone.  The
+LP-backend and batched-substrate measurements remain inline (they time the
+execution layer itself, which a sweep cell cannot meaningfully wrap).
 """
 
 from __future__ import annotations
@@ -15,15 +22,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Sequence
 
-from repro.algorithms.greedy import greedy_completion_times
-from repro.algorithms.lateness import minimize_max_lateness
-from repro.algorithms.makespan import minimal_makespan
-from repro.algorithms.water_filling import water_filling_schedule
 from repro.algorithms.wdeq import wdeq_schedule
 from repro.core.instance import Instance
 from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.lp.interface import solve_ordered_relaxation
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import SweepRunner
 from repro.workloads.generators import cluster_instances
 
 __all__ = ["run", "TABLE_I_ROWS"]
@@ -80,31 +85,31 @@ def run(
     rows: list[list[object]] = []
     rng = ctx.rng()
     instances: dict[int, Instance] = {}
-    for n in sorted(set(sizes) | set(lp_sizes) | set(simplex_sizes)):
+    for n in sorted(set(lp_sizes) | set(simplex_sizes)):
         instances[n] = next(cluster_instances(n, 1, rng=rng))
 
-    for n in sizes:
-        inst = instances[n]
-        order = inst.smith_order()
-        wdeq_time = _time_call(lambda: wdeq_schedule(inst))
-        completions = wdeq_schedule(inst).completion_times_by_task()
-        wf_time = _time_call(lambda: water_filling_schedule(inst, completions))
-        greedy_time = _time_call(lambda: greedy_completion_times(inst, order))
-        makespan_time = _time_call(lambda: minimal_makespan(inst))
-        deadlines = completions
-        lateness_time = _time_call(lambda: minimize_max_lateness(inst, deadlines))
-        rows.append(
-            [
-                n,
-                f"{wdeq_time * 1e3:.2f}",
-                f"{wf_time * 1e3:.2f}",
-                f"{greedy_time * 1e3:.2f}",
-                f"{makespan_time * 1e3:.3f}",
-                f"{lateness_time * 1e3:.2f}",
-                "-",
-                "-",
-            ]
-        )
+    if sizes:
+        spec = get_scenario("e7-solver-scaling").with_overrides(grid={"n": tuple(sizes)})
+        sweep = SweepRunner(spec, ctx).run()
+        by_cell: dict[int, dict[str, float]] = {}
+        cell_sizes: dict[int, object] = {}
+        for record in sweep.records:
+            by_cell.setdefault(record["cell"], {})[record["label"]] = record["metrics"]["best_ms"]
+            cell_sizes[record["cell"]] = record["params"].get("n", "-")
+        for cell in sorted(by_cell):
+            timings = by_cell[cell]
+            rows.append(
+                [
+                    cell_sizes[cell],
+                    f"{timings['WDEQ']:.2f}",
+                    f"{timings['WF normal form']:.2f}",
+                    f"{timings['greedy']:.2f}",
+                    f"{timings['C_max']:.3f}",
+                    f"{timings['L_max']:.2f}",
+                    "-",
+                    "-",
+                ]
+            )
     for n in lp_sizes:
         inst = instances[n]
         order = inst.smith_order()
@@ -132,7 +137,8 @@ def run(
     summary: dict[str, object] = {"table I coverage rows": len(TABLE_I_ROWS)}
     notes = [
         "Table I coverage: " + "; ".join(f"{r[2]} / {r[3]} -> {r[5]}" for r in TABLE_I_ROWS),
-        "Runtimes are best-of-3 wall-clock measurements on the synthetic cluster workload; "
+        "Runtimes are best-of-3 wall-clock measurements on the synthetic cluster workload "
+        "(the polynomial-solver rows come from the 'e7-solver-scaling' scenario sweep); "
         "pytest-benchmark variants live in benchmarks/bench_scaling.py.",
     ]
     for B in batch_sizes:

@@ -9,14 +9,16 @@ completion times.  The experiment measures the achieved ratio
 and compares WDEQ to the baselines it generalises (DEQ, the cap-less
 weighted fair share) and to the clairvoyant Smith-priority policy.
 
-On a vectorized :class:`repro.exec.ExecutionContext` the whole
-large-instance section runs on the padded-batch substrate: the WDEQ ratios
-come from the closed-form :func:`repro.batch.kernels.wdeq_ratio_batch`
-kernel, and the baseline policies are executed by the batched discrete-event
-engine (:func:`repro.batch.sim_kernels.policy_ratios_batch`) instead of one
-scalar simulation per instance — one NumPy sweep per size and policy.  On
-the other backends the historical per-instance path runs through
-``ctx.map``.
+The large-instance section is a *scenario sweep*: its grid lives in the
+scenario registry as ``e5-policy-comparison`` (see
+:mod:`repro.scenarios.registry`) and this module merely narrows the grid to
+the requested sizes and runs it through
+:class:`repro.scenarios.runner.SweepRunner` — on a vectorized
+:class:`repro.exec.ExecutionContext` every cell is one
+:func:`repro.batch.sim_kernels.simulate_batch` call per policy, on the other
+backends the scalar per-instance engine; both paths produce the same numbers
+up to floating-point noise (asserted by the test suite), so the rows remain
+comparable across backends.
 """
 
 from __future__ import annotations
@@ -24,11 +26,13 @@ from __future__ import annotations
 import functools
 from typing import Sequence
 
-from repro.analysis.ratios import policy_ratios, wdeq_ratio
+from repro.analysis.ratios import wdeq_ratio
 from repro.analysis.stats import summarize
 from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
-from repro.workloads.generators import cluster_instances, uniform_instances
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import SweepRunner
+from repro.workloads.generators import uniform_instances
 
 __all__ = ["run"]
 
@@ -59,51 +63,55 @@ def run(
         rows.append(
             ["WDEQ / OPT (exact)", n, stats.count, f"{stats.mean:.3f}", f"{stats.maximum:.3f}"]
         )
-    max_ratio_bound = 0.0
-    policy_means: dict[str, list[float]] = {}
-    bound_ratio = functools.partial(policy_ratios, exact=False)
-    for n in large_sizes:
-        instances = list(cluster_instances(n, large_count, rng=ctx.rng()))
-        if ctx.vectorized:
-            from repro.batch.kernels import PaddedBatch, wdeq_ratio_batch
-            from repro.batch.sim_kernels import default_batch_policies, policy_ratios_batch
 
-            batch = PaddedBatch.from_instances(instances)
-            ratios = wdeq_ratio_batch(batch).tolist()
-            policy_means.setdefault("WDEQ", []).extend(ratios)
-            baselines = [p for p in default_batch_policies(batch) if p.name != "WDEQ"]
-            for name, values in policy_ratios_batch(batch, policies=baselines).items():
-                policy_means.setdefault(name, []).extend(values.tolist())
-        else:
-            per_policy_list = ctx.map(bound_ratio, instances)
-            ratios = [per_policy["WDEQ"] for per_policy in per_policy_list]
-            for per_policy in per_policy_list:
-                for name, value in per_policy.items():
-                    policy_means.setdefault(name, []).append(value)
-        stats = summarize(ratios)
-        max_ratio_bound = max(max_ratio_bound, stats.maximum)
+    # Large instances: the registry scenario narrowed to the requested grid.
+    records: list[dict] = []
+    if large_sizes and large_count > 0:
+        spec = get_scenario("e5-policy-comparison").with_overrides(
+            grid={"n": tuple(large_sizes)}, count=large_count
+        )
+        records = SweepRunner(spec, ctx).run().records
+    max_ratio_bound = 0.0
+    policy_totals: dict[str, dict[str, float]] = {}
+    for record in records:
+        label, metrics = record["label"], record["metrics"]
+        totals = policy_totals.setdefault(
+            label, {"count": 0, "mean_sum": 0.0, "cells": 0, "max": 0.0}
+        )
+        totals["count"] += record["count"]
+        totals["mean_sum"] += metrics["mean_ratio"]
+        totals["cells"] += 1
+        totals["max"] = max(totals["max"], metrics["max_ratio"])
+        if label == "WDEQ":
+            max_ratio_bound = max(max_ratio_bound, metrics["max_ratio"])
+            rows.append(
+                [
+                    "WDEQ / lower bound",
+                    record["params"].get("n", "-"),
+                    record["count"],
+                    f"{metrics['mean_ratio']:.3f}",
+                    f"{metrics['max_ratio']:.3f}",
+                ]
+            )
+    for name in sorted(policy_totals):
+        totals = policy_totals[name]
+        mean = totals["mean_sum"] / totals["cells"] if totals["cells"] else 0.0
         rows.append(
             [
-                "WDEQ / lower bound",
-                n,
-                stats.count,
-                f"{stats.mean:.3f}",
-                f"{stats.maximum:.3f}",
+                f"{name} / lower bound (all large n)",
+                "-",
+                int(totals["count"]),
+                f"{mean:.3f}",
+                f"{totals['max']:.3f}",
             ]
         )
-    for name, values in sorted(policy_means.items()):
-        stats = summarize(values)
-        rows.append(
-            [f"{name} / lower bound (all large n)", "-", stats.count, f"{stats.mean:.3f}", f"{stats.maximum:.3f}"]
-        )
-    if ctx.vectorized:
-        notes.append(
-            "Large-instance section computed on the vectorized backend: WDEQ ratios by the "
-            "closed-form repro.batch.kernels.wdeq_ratio_batch kernel, baseline policies by "
-            "the batched discrete-event engine repro.batch.sim_kernels.simulate_batch; both "
-            "agree with the scalar per-instance path (asserted by the test suite), so the "
-            "rows remain comparable across backends."
-        )
+    notes.append(
+        "Large-instance section runs the registry scenario 'e5-policy-comparison' through "
+        "repro.scenarios.SweepRunner: one batched discrete-event sweep per cell on the "
+        "vectorized backend (repro.batch.sim_kernels.simulate_batch), the scalar engine on "
+        "the other backends; both paths agree up to floating-point noise (asserted by the "
+        "test suite), so the rows remain comparable across backends."
+    )
     return ExperimentResult(
         experiment_id="E5",
         title="Empirical approximation ratio of WDEQ (Theorem 4)",

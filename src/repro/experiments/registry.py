@@ -1,13 +1,23 @@
 """Registry mapping experiment ids (DESIGN.md) to their run functions.
 
 Execution options (seed, scale, backend, worker pool, cache) reach the
-experiments as a single :class:`repro.exec.ExecutionContext`.  The
-pre-context spelling — passing ``seed`` / ``paper_scale`` / ``runner`` /
-``use_batch`` / ``cache`` as plain keyword arguments to
-:func:`run_experiment` — is still accepted and translated into a context,
-but the backend-selection options are deprecated (see
-:func:`run_experiment`), and the signature-inspection filter
-:func:`accepted_kwargs` that used to route them is deprecated wholesale.
+experiments as a single :class:`repro.exec.ExecutionContext` passed as
+``ctx``; there is no per-experiment execution wiring and nothing is routed
+by signature inspection.  The pre-context spelling — passing ``seed`` /
+``paper_scale`` / ``runner`` / ``use_batch`` / ``cache`` as plain keyword
+arguments to :func:`run_experiment` — is still accepted and translated into
+a context, with a :class:`DeprecationWarning` for the backend-selection
+trio (see :func:`run_experiment`).
+
+Examples
+--------
+>>> from repro.exec import ExecutionContext
+>>> from repro.experiments.registry import run_experiment
+>>> result = run_experiment(
+...     "E5", ctx=ExecutionContext(seed=1),
+...     small_sizes=(2,), small_count=2, large_sizes=(), large_count=0)
+>>> result.experiment_id
+'E5'
 """
 
 from __future__ import annotations

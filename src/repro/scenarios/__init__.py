@@ -1,0 +1,42 @@
+"""Declarative scenarios and parameter sweeps (``repro.scenarios``).
+
+This package converts the repository from nine fixed experiment scripts into
+a scenario engine: a sweep is *data* — a :class:`ScenarioSpec` naming a
+workload generator, a parameter grid, an arrival process and a policy
+line-up — and one :class:`SweepRunner` executes any spec on any
+:class:`repro.exec.ExecutionContext` backend, persisting per-cell records to
+a :class:`ResultsStore`.
+
+* :mod:`repro.scenarios.spec` — the TOML-loadable :class:`ScenarioSpec`;
+* :mod:`repro.scenarios.grid` — deterministic, lossless grid expansion;
+* :mod:`repro.scenarios.families` — arrival processes (Poisson, bursty
+  Poisson), heavy-tailed weight reshaping, CSV trace replay;
+* :mod:`repro.scenarios.runner` — the backend-agnostic :class:`SweepRunner`;
+* :mod:`repro.scenarios.store` — JSON-lines records + summary tables;
+* :mod:`repro.scenarios.registry` — built-in catalogue (the paper's E5 / E7
+  / E8 grids plus the new families), used by ``malleable-repro sweep``.
+"""
+
+from repro.scenarios.grid import ScenarioCell, expand_grid, split_cell_params
+from repro.scenarios.registry import SCENARIOS, get_scenario
+from repro.scenarios.runner import SweepResult, SweepRunner, run_cell
+from repro.scenarios.spec import METRIC_NAMES, PIPELINES, POLICY_NAMES, ScenarioSpec
+from repro.scenarios.store import ResultsStore, load_records, summary_table
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioCell",
+    "expand_grid",
+    "split_cell_params",
+    "SweepRunner",
+    "SweepResult",
+    "run_cell",
+    "ResultsStore",
+    "load_records",
+    "summary_table",
+    "SCENARIOS",
+    "get_scenario",
+    "PIPELINES",
+    "POLICY_NAMES",
+    "METRIC_NAMES",
+]

@@ -1,0 +1,136 @@
+"""Built-in scenario catalogue.
+
+Each entry is a plain :class:`~repro.scenarios.spec.ScenarioSpec` — the
+paper's experiment grids (E5 policy comparison, E7 solver scaling, E8
+bandwidth strategies) restated as data, plus the new scenario families that
+go beyond the paper's all-released-at-zero setting: bursty Poisson arrivals,
+heavy-tailed priority weights and CSV trace replay.
+
+``malleable-repro sweep <name>`` resolves names through
+:func:`get_scenario`; the experiments resolve their own grids through the
+same registry (see :mod:`repro.experiments.exp_wdeq_ratio`), so the registry
+is the single place a sweep's shape is defined.
+
+Examples
+--------
+>>> from repro.scenarios import get_scenario, SCENARIOS
+>>> get_scenario("bursty-poisson").pipeline
+'policies'
+>>> "e5-policy-comparison" in SCENARIOS
+True
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["SCENARIOS", "get_scenario"]
+
+
+def _sample_trace_path() -> str:
+    """Locate the committed sample trace independently of the working directory.
+
+    In a checkout the trace lives at ``<repo>/scenarios/traces/`` four levels
+    above this file; fall back to the cwd-relative path (so an installed
+    package still gives a readable "file not found" error naming the path).
+    """
+    relative = os.path.join("scenarios", "traces", "sample_trace.csv")
+    repo_root = os.path.dirname(  # src/repro/scenarios -> src/repro -> src -> repo
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+    anchored = os.path.join(repo_root, relative)
+    return anchored if os.path.isfile(anchored) else relative
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in [
+        ScenarioSpec(
+            name="e5-policy-comparison",
+            description=(
+                "Experiment E5's large-instance sweep: online policies vs the "
+                "Lemma 1 lower bound on the synthetic cluster workload"
+            ),
+            generator="cluster_instances",
+            pipeline="policies",
+            params={"P": 64.0},
+            grid={"n": (10, 25, 50)},
+            count=10,
+            metrics=("mean_ratio", "max_ratio"),
+        ),
+        ScenarioSpec(
+            name="e7-solver-scaling",
+            description=(
+                "Experiment E7's runtime sweep: best-of-3 wall-clock timings of "
+                "the polynomial solvers as the task count grows"
+            ),
+            generator="cluster_instances",
+            pipeline="solver-timing",
+            params={"P": 64.0},
+            grid={"n": (10, 50, 200, 500)},
+            count=1,
+        ),
+        ScenarioSpec(
+            name="e8-bandwidth-strategies",
+            description=(
+                "Experiment E8's master-worker sweep: throughput and objective of "
+                "the transfer strategies on random code-distribution scenarios"
+            ),
+            generator="bandwidth_scenario_instances",
+            pipeline="bandwidth",
+            params={"horizon_slack": 2.0},
+            grid={"n": (5, 10, 20)},
+            count=10,
+        ),
+        ScenarioSpec(
+            name="bursty-poisson",
+            description=(
+                "Cluster workload under bursty Poisson arrivals: gangs of tasks "
+                "released together stress the online policies' resharing"
+            ),
+            generator="cluster_instances",
+            pipeline="policies",
+            params={"P": 64.0},
+            grid={"n": (16, 32), "arrivals.rate": (0.5, 2.0)},
+            count=8,
+            arrivals={"process": "bursty-poisson", "burst_size": 4, "spread": 0.05},
+            metrics=("mean_ratio", "mean_makespan"),
+        ),
+        ScenarioSpec(
+            name="heavy-tailed",
+            description=(
+                "Pareto-weighted cluster workload: a few very heavy priorities "
+                "dominate the objective (the production-trace weight profile)"
+            ),
+            generator="heavy_tailed_instances",
+            pipeline="policies",
+            params={"P": 64.0},
+            grid={"n": (16, 32), "alpha": (1.2, 2.5)},
+            count=8,
+            metrics=("mean_ratio", "max_ratio"),
+        ),
+        ScenarioSpec(
+            name="trace-replay",
+            description=(
+                "Replay tasks and release times from a CSV trace through every "
+                "online policy (see scenarios/traces/sample_trace.csv)"
+            ),
+            generator="trace_replay",
+            pipeline="policies",
+            params={"trace": _sample_trace_path(), "P": 8.0},
+            count=64,
+        ),
+    ]
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a built-in scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from exc

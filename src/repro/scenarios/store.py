@@ -1,0 +1,155 @@
+"""Persistence for sweep results: JSON-lines records plus a summary table.
+
+A sweep produces one flat *record* per (grid cell, evaluated label) — the
+label being a policy, transfer strategy or solver name depending on the
+pipeline.  The :class:`ResultsStore` writes those records append-only to
+``results.jsonl`` (one JSON object per line, so partial sweeps remain
+readable) and renders a deterministic summary table to ``summary.md``;
+:func:`repro.experiments.report.render_sweep_report` consumes a store
+directory to build the Markdown section of a report.
+
+Record schema (all keys always present)::
+
+    {
+      "scenario": "poisson-bursts",      # spec name
+      "cell": 3,                         # index in the grid expansion
+      "params": {"n": 16, "arrivals.rate": 2.0},
+      "label": "WDEQ",                   # policy / strategy / solver
+      "count": 8,                        # instances evaluated
+      "seed": 103,                       # the cell's private seed
+      "metrics": {"mean_ratio": 1.21, ...}
+    }
+
+Examples
+--------
+>>> store = ResultsStore(directory)                    # doctest: +SKIP
+>>> store.write_records(records)                       # doctest: +SKIP
+>>> headers, rows = summary_table(records)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.scenarios.grid import format_params
+from repro.viz.tables import format_markdown_table, format_table
+
+__all__ = ["ResultsStore", "summary_table", "load_records"]
+
+RECORDS_FILE_NAME = "results.jsonl"
+SUMMARY_FILE_NAME = "summary.md"
+
+
+def summary_table(
+    records: Sequence[Mapping[str, Any]], metrics: Sequence[str] = ()
+) -> tuple[list[str], list[list[object]]]:
+    """Build the deterministic summary table of a record set.
+
+    One row per record, ordered by (scenario, cell index, label); the metric
+    columns are ``metrics`` when given, else the union of metric names over
+    all records in sorted order.  Missing metrics render as ``"-"`` so
+    pipelines with heterogeneous metrics share one table.
+    """
+    names = list(metrics)
+    if not names:
+        seen: set[str] = set()
+        for record in records:
+            seen.update(record.get("metrics", {}))
+        names = sorted(seen)
+    headers = ["scenario", "cell", "params", "label", "count", *names]
+    ordered = sorted(records, key=lambda r: (r["scenario"], r["cell"], r["label"]))
+    rows: list[list[object]] = []
+    for record in ordered:
+        cell_label = format_params(record.get("params", {}))
+        row: list[object] = [
+            record["scenario"],
+            record["cell"],
+            cell_label,
+            record["label"],
+            record.get("count", "-"),
+        ]
+        for name in names:
+            value = record.get("metrics", {}).get(name)
+            row.append("-" if value is None else f"{float(value):.6g}")
+        rows.append(row)
+    return headers, rows
+
+
+def load_records(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Read back the records of a ``results.jsonl`` file (or store directory)."""
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        path = os.path.join(path, RECORDS_FILE_NAME)
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class ResultsStore:
+    """Directory-backed persistence for one sweep's records and summary.
+
+    Parameters
+    ----------
+    directory:
+        Created on demand.  Holds ``results.jsonl`` (append-only records)
+        and ``summary.md`` (the rendered summary table).
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = os.fspath(directory)
+
+    @property
+    def records_path(self) -> str:
+        """Path of the JSON-lines record file."""
+        return os.path.join(self.directory, RECORDS_FILE_NAME)
+
+    @property
+    def summary_path(self) -> str:
+        """Path of the rendered summary table."""
+        return os.path.join(self.directory, SUMMARY_FILE_NAME)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one record to ``results.jsonl`` (creating the store)."""
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def write_records(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Write all records (truncating a previous run); returns the count."""
+        os.makedirs(self.directory, exist_ok=True)
+        count = 0
+        with open(self.records_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def load(self) -> list[dict[str, Any]]:
+        """Read the stored records back."""
+        return load_records(self.records_path)
+
+    def write_summary(
+        self, records: Sequence[Mapping[str, Any]], metrics: Sequence[str] = (), title: str = ""
+    ) -> str:
+        """Render and persist the summary table; returns the Markdown text."""
+        headers, rows = summary_table(records, metrics)
+        parts = []
+        if title:
+            parts.extend([f"# {title}", ""])
+        parts.append(format_markdown_table(headers, rows))
+        text = "\n".join(parts)
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.summary_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return text
+
+    def summary_text(self, records: Sequence[Mapping[str, Any]], metrics: Sequence[str] = ()) -> str:
+        """Monospace rendering of the summary table (for terminals)."""
+        headers, rows = summary_table(records, metrics)
+        return format_table(headers, rows)

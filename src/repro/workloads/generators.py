@@ -22,6 +22,7 @@ __all__ = [
     "homogeneous_halfdelta_deltas",
     "homogeneous_halfdelta_instances",
     "cluster_instances",
+    "heavy_tailed_instances",
     "bandwidth_scenario_instances",
 ]
 
@@ -165,6 +166,40 @@ def cluster_instances(
         volumes = np.maximum(generator.lognormal(mean=1.0, sigma=1.0, size=n), MIN_VALUE)
         weights = generator.choice(priority_classes, size=n)
         # Cap ~ small powers of two up to P, biased towards narrow jobs.
+        exponents = generator.geometric(p=0.45, size=n)
+        deltas = np.minimum(2.0 ** exponents, P)
+        yield Instance(
+            P=P,
+            tasks=[
+                Task(volume=float(v), weight=float(w), delta=float(d))
+                for v, w, d in zip(volumes, weights, deltas)
+            ],
+        )
+
+
+def heavy_tailed_instances(
+    n: int,
+    count: int,
+    P: float = 64.0,
+    alpha: float = 1.5,
+    rng: np.random.Generator | int | None = None,
+) -> Iterator[Instance]:
+    """Cluster-style instances with genuinely heavy-tailed priority weights.
+
+    Volumes and caps follow :func:`cluster_instances` (log-normal volumes,
+    power-of-two caps), but the weights are drawn as ``1 + Pareto(alpha)`` —
+    a few tasks carry priorities orders of magnitude above the rest, the
+    profile of production traces where one urgent job dominates the weighted
+    objective.  Smaller ``alpha`` means a heavier tail (``alpha <= 1`` has an
+    infinite mean); the weights are floored at :data:`MIN_VALUE` and have
+    minimum 1 by construction.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    generator = _rng(rng)
+    for _ in range(count):
+        volumes = np.maximum(generator.lognormal(mean=1.0, sigma=1.0, size=n), MIN_VALUE)
+        weights = np.maximum(1.0 + generator.pareto(alpha, size=n), MIN_VALUE)
         exponents = generator.geometric(p=0.45, size=n)
         deltas = np.minimum(2.0 ** exponents, P)
         yield Instance(

@@ -95,6 +95,10 @@ def _cluster(n: int, count: int, rng: np.random.Generator) -> Iterator[Instance]
     return generators.cluster_instances(n, count, P=64.0, rng=rng)
 
 
+def _heavy_tailed(n: int, count: int, rng: np.random.Generator) -> Iterator[Instance]:
+    return generators.heavy_tailed_instances(n, count, P=64.0, rng=rng)
+
+
 def _bandwidth(n: int, count: int, rng: np.random.Generator) -> Iterator[Instance]:
     return generators.bandwidth_scenario_instances(n, count, rng=rng)
 
@@ -151,6 +155,14 @@ WORKLOAD_SUITES: dict[str, WorkloadSuite] = {
             description="Synthetic multicore cluster workload (log-normal volumes, priority weights)",
             factory=_cluster,
             default_sizes=(10, 20, 50, 100),
+            default_count=20,
+        ),
+        WorkloadSuite(
+            name="heavy-tailed",
+            experiment="scenarios",
+            description="Cluster workload with Pareto (heavy-tailed) priority weights",
+            factory=_heavy_tailed,
+            default_sizes=(16, 32, 64),
             default_count=20,
         ),
         WorkloadSuite(

@@ -1,0 +1,55 @@
+"""Consistency checks for the documentation site.
+
+``mkdocs build --strict`` runs in CI (the ``docs`` job); these tests catch
+its most common failure modes — nav entries pointing at missing files and
+broken relative links between pages — without requiring mkdocs locally, and
+assert the generated API pages stay in sync with the docstrings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+_NAV_FILE = re.compile(r":\s*([\w/.-]+\.md)\s*$", re.MULTILINE)
+_MD_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+
+
+def test_nav_entries_exist():
+    config = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+    files = _NAV_FILE.findall(config)
+    assert files, "mkdocs.yml nav parsed to zero pages"
+    for name in files:
+        assert (DOCS_DIR / name).is_file(), f"mkdocs.yml nav references missing docs/{name}"
+
+
+def test_relative_links_resolve():
+    for page in DOCS_DIR.rglob("*.md"):
+        text = page.read_text(encoding="utf-8")
+        for target in _MD_LINK.findall(text):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page.relative_to(REPO_ROOT)} links to missing {target}"
+
+
+def test_every_docs_page_is_in_nav():
+    config = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+    in_nav = set(_NAV_FILE.findall(config))
+    on_disk = {str(p.relative_to(DOCS_DIR)) for p in DOCS_DIR.rglob("*.md")}
+    assert on_disk == in_nav, f"nav/page drift: {on_disk ^ in_nav}"
+
+
+def test_generated_api_pages_in_sync():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
