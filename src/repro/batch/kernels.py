@@ -38,6 +38,7 @@ __all__ = [
     "smith_rule_batch",
     "height_bound_batch",
     "combined_lower_bound_batch",
+    "lower_bound_batch",
     "wdeq_ratio_batch",
 ]
 
@@ -359,6 +360,49 @@ def combined_lower_bound_batch(batch: PaddedBatch, num_fractions: int = 5) -> np
         height_part = height_bound_batch(batch, volumes=batch.volumes * (1.0 - frac))
         candidates.append(area_part + height_part)
     return np.max(np.stack(candidates, axis=0), axis=0)
+
+
+def lower_bound_batch(
+    batch: PaddedBatch,
+    method: str = "combined",
+    num_fractions: int = 5,
+    backend: str = "batch",
+    ctx: "object | None" = None,
+    max_exact_tasks: int = 7,
+) -> np.ndarray:
+    """Per-row lower bounds on the optimal weighted completion time, shape ``(B,)``.
+
+    Two methods are available:
+
+    ``"combined"``
+        The closed-form Lemma 1 bound of
+        :func:`combined_lower_bound_batch` — cheap, valid at any size, and
+        what the empirical-ratio experiments use as the denominator.
+    ``"exact"``
+        The exact optimum ``OPT(I)`` per row, obtained by enumerating every
+        completion ordering and solving the Corollary 1 LPs through the
+        batched solver of :mod:`repro.lp.batch`
+        (:func:`~repro.lp.batch.optimal_values_batch`).  Exponential in the
+        per-row task count and therefore guarded by ``max_exact_tasks``;
+        ``backend`` / ``ctx`` are forwarded to the batched LP layer, so a
+        vectorized context solves the enumeration in lockstep chunks while a
+        process-pool context shards scalar solves over its workers.
+
+    The exact method dominates the combined bound (it *is* the optimum), so
+    ``lower_bound_batch(batch, "exact") >= lower_bound_batch(batch)`` up to
+    tolerance — asserted by the differential tests.
+    """
+    if method == "combined":
+        return combined_lower_bound_batch(batch, num_fractions=num_fractions)
+    if method == "exact":
+        from repro.lp.batch import optimal_values_batch
+
+        return optimal_values_batch(
+            batch, backend=backend, ctx=ctx, max_tasks=max_exact_tasks  # type: ignore[arg-type]
+        ).objectives
+    raise InvalidInstanceError(
+        f"unknown lower-bound method {method!r}; expected 'combined' or 'exact'"
+    )
 
 
 def wdeq_ratio_batch(

@@ -142,6 +142,17 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "identical parameters skip recomputation across invocations"
         ),
     )
+    parser.add_argument(
+        "--lp-backend",
+        default="auto",
+        choices=("auto", "scipy", "simplex"),
+        help=(
+            "LP solver for the Corollary 1 ordered relaxation: 'auto' picks the "
+            "batched lockstep kernel under --batch and SciPy/HiGHS otherwise; "
+            "'scipy' / 'simplex' pin one scalar solver (the selection is part of "
+            "the cache key, so cached results never cross solvers)"
+        ),
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExecutionContext:
@@ -152,6 +163,7 @@ def context_from_args(args: argparse.Namespace) -> ExecutionContext:
         batch=args.batch,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        lp_backend=getattr(args, "lp_backend", "auto"),
     )
 
 

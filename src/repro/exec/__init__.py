@@ -17,6 +17,6 @@ Typical usage::
         result = run_experiment("E5", ctx=ctx)
 """
 
-from repro.exec.context import BACKENDS, ExecutionContext
+from repro.exec.context import BACKENDS, LP_BACKENDS, ExecutionContext
 
-__all__ = ["BACKENDS", "ExecutionContext"]
+__all__ = ["BACKENDS", "LP_BACKENDS", "ExecutionContext"]

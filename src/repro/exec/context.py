@@ -26,6 +26,13 @@ A context with ``backend="vectorized"`` and ``workers > 1`` combines both
 levers: vectorized kernels where they exist, the pool for the remaining
 scalar work — this is what ``malleable-repro all --batch --workers N``
 builds.
+
+The LP layer follows the same pattern: :meth:`ExecutionContext.ordered_relaxation`
+solves the Corollary 1 LPs of a whole batch through the backend the context's
+``lp_backend`` selection resolves to — the lockstep kernel of
+:mod:`repro.lp.batch` on a ``vectorized`` context, per-instance SciPy solves
+sharded over the worker pool on ``process-pool``, a serial SciPy loop
+otherwise.
 """
 
 from __future__ import annotations
@@ -39,10 +46,16 @@ import numpy as np
 from repro.batch.cache import ResultCache, cache_key
 from repro.batch.runner import BatchRunner
 
-__all__ = ["BACKENDS", "ExecutionContext"]
+__all__ = ["BACKENDS", "LP_BACKENDS", "ExecutionContext"]
 
 #: The recognised execution backends.
 BACKENDS = ("serial", "vectorized", "process-pool")
+
+#: The recognised LP-backend selections.  ``auto`` resolves per execution
+#: backend (the batched lockstep kernel on ``vectorized``, SciPy otherwise);
+#: ``scipy`` / ``simplex`` pin one scalar solver — see
+#: :meth:`ExecutionContext.resolved_lp_backend`.
+LP_BACKENDS = ("auto", "scipy", "simplex")
 
 #: File name used for the persistent result cache inside ``--cache-dir``.
 CACHE_FILE_NAME = "results-cache.json"
@@ -75,6 +88,16 @@ class ExecutionContext:
         :meth:`cached`.  A cache constructed with a backing path is saved by
         :meth:`close`, which is how ``--cache-dir`` persists results across
         CLI invocations.
+    lp_backend:
+        Which solver the LP layer should use, one of :data:`LP_BACKENDS`.
+        The default ``"auto"`` picks the batched lockstep kernel of
+        :mod:`repro.lp.batch` on the ``vectorized`` backend and SciPy/HiGHS
+        everywhere else; ``"scipy"`` / ``"simplex"`` pin the scalar solver
+        (still sharded over the worker pool on a ``process-pool`` context).
+        The *resolved* solver is part of every :meth:`cached` key, so
+        neither switching ``--lp-backend`` nor an ``auto`` that resolves
+        differently across backends can return results computed by another
+        solver.
 
     Examples
     --------
@@ -92,12 +115,17 @@ class ExecutionContext:
     workers: int = 0
     runner: BatchRunner | None = None
     cache: ResultCache | None = None
+    lp_backend: str = "auto"
     _owns_runner: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown execution backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.lp_backend not in LP_BACKENDS:
+            raise ValueError(
+                f"unknown LP backend {self.lp_backend!r}; expected one of {LP_BACKENDS}"
             )
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
@@ -128,6 +156,7 @@ class ExecutionContext:
         batch: bool = False,
         workers: int = 0,
         cache_dir: str | os.PathLike | None = None,
+        lp_backend: str = "auto",
     ) -> "ExecutionContext":
         """Build a context from CLI-style flags.
 
@@ -136,7 +165,8 @@ class ExecutionContext:
         vectorized context with a worker pool for the scalar remainder.
         ``--cache-dir`` attaches a :class:`ResultCache` persisted to
         ``<cache_dir>/results-cache.json`` (created on demand, reloaded on
-        the next invocation, saved by :meth:`close`).
+        the next invocation, saved by :meth:`close`); ``--lp-backend``
+        selects the LP solver (see :data:`LP_BACKENDS`).
         """
         if batch:
             backend = "vectorized"
@@ -149,7 +179,12 @@ class ExecutionContext:
             os.makedirs(cache_dir, exist_ok=True)
             cache = ResultCache(path=os.path.join(os.fspath(cache_dir), CACHE_FILE_NAME))
         return cls(
-            seed=seed, paper_scale=paper_scale, backend=backend, workers=workers, cache=cache
+            seed=seed,
+            paper_scale=paper_scale,
+            backend=backend,
+            workers=workers,
+            cache=cache,
+            lp_backend=lp_backend,
         )
 
     @classmethod
@@ -205,6 +240,45 @@ class ExecutionContext:
             return paper
         return quick
 
+    def resolved_lp_backend(self) -> str:
+        """The concrete LP solver this context selects.
+
+        ``"batch"`` (the lockstep kernel of :mod:`repro.lp.batch`) on a
+        ``vectorized`` context with ``lp_backend="auto"``; otherwise the
+        pinned scalar solver, with ``auto`` defaulting to ``"scipy"``.  The
+        scalar solvers still benefit from a worker pool: the batched LP entry
+        point shards them over :meth:`map`.
+        """
+        if self.lp_backend == "auto":
+            return "batch" if self.vectorized else "scipy"
+        return self.lp_backend
+
+    def ordered_relaxation(
+        self,
+        batch,
+        orders=None,
+        build_schedules: bool = False,
+    ):
+        """Solve the Corollary 1 LP for every row of an ``InstanceBatch``.
+
+        The execution-layer entry point to the LP subsystem: resolves the
+        context's LP backend (:meth:`resolved_lp_backend`) and forwards to
+        :func:`repro.lp.batch.solve_ordered_relaxation_batch` — the lockstep
+        kernel on a ``vectorized`` context, scalar solves sharded over the
+        worker pool on a ``process-pool`` context, a plain serial loop
+        otherwise.  Returns a
+        :class:`~repro.lp.batch.BatchedOrderedSolution`.
+        """
+        from repro.lp.batch import solve_ordered_relaxation_batch
+
+        return solve_ordered_relaxation_batch(
+            batch,
+            orders=orders,
+            backend=self.resolved_lp_backend(),  # type: ignore[arg-type]
+            ctx=self,
+            build_schedules=build_schedules,
+        )
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -225,16 +299,23 @@ class ExecutionContext:
     def cached(
         self, name: str, params: Mapping[str, Any], compute: Callable[[], Any]
     ) -> Any:
-        """Memoize ``compute()`` under ``(name, seed, params)`` in the cache.
+        """Memoize ``compute()`` under ``(name, seed, lp_backend, params)`` in the cache.
 
         Without a cache this simply calls ``compute()``.  ``params`` must be
         JSON-canonicalisable (see :func:`repro.batch.cache.cache_key`); the
-        context adds its own seed to the key so sweeps with different seeds
-        never collide.
+        context adds its own seed *and resolved LP solver* to the key —
+        results computed with one solver must never be served to a run using
+        another from a shared ``--cache-dir``.  Keying on the *resolved*
+        backend (not the raw selection) also separates ``auto`` contexts
+        that resolve differently (a vectorized ``auto`` uses the lockstep
+        kernel, a serial ``auto`` uses SciPy); the context's value is merged
+        last so a caller-supplied ``params`` entry cannot shadow it
+        (regression-tested in ``tests/test_exec.py``).
         """
         if self.cache is None:
             return compute()
-        return self.cache.get_or_compute(cache_key(name, self.seed, dict(params)), compute)
+        key_params = {**dict(params), "lp_backend": self.resolved_lp_backend()}
+        return self.cache.get_or_compute(cache_key(name, self.seed, key_params), compute)
 
     def close(self) -> None:
         """Release resources: shut down an owned runner, save a backed cache."""

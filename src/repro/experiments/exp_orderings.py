@@ -10,7 +10,12 @@ The paper reports, for the homogeneous family sorted by non-increasing cap:
 
 This experiment verifies those statements on random instances by exhaustive
 enumeration of the greedy values; the per-instance enumerations run through
-``ctx.map`` of the :class:`repro.exec.ExecutionContext`.
+``ctx.map`` of the :class:`repro.exec.ExecutionContext`.  The greedy
+recurrence is additionally cross-checked against the exact Corollary 1
+optimum — every completion ordering's LP, minimised — through the context's
+LP backend: a ``vectorized`` context enumerates the orderings in lockstep
+batches (:func:`repro.lp.batch.optimal_values_batch`), the other backends
+dispatch per-instance SciPy solves.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.algorithms.greedy_homogeneous import homogeneous_instance
 from repro.analysis.orderings import five_task_condition_holds, optimal_order_structure
+from repro.core.batch import InstanceBatch
+from repro.core.bounds import times_close
 from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
 from repro.workloads.generators import homogeneous_halfdelta_deltas
@@ -31,6 +39,39 @@ def _structure_flags(deltas: np.ndarray) -> tuple[bool, bool]:
     """Paper-order / measured-pattern optimality of one instance (picklable)."""
     structure = optimal_order_structure(deltas)
     return structure.predictions_optimal, structure.measured_pattern_optimal
+
+
+def _greedy_optimum(deltas: np.ndarray) -> float:
+    """Best greedy value over all orders of one instance (picklable)."""
+    return optimal_order_structure(deltas).optimal_value
+
+
+def _lp_cross_check(
+    ctx: ExecutionContext, sizes: Sequence[int], count: int
+) -> tuple[list[list[object]], bool]:
+    """Compare the exhaustive greedy optimum with the Corollary 1 LP optimum."""
+    from repro.lp.batch import optimal_values_batch
+
+    rows: list[list[object]] = []
+    all_match = True
+    for n in sizes:
+        deltas_list = list(homogeneous_halfdelta_deltas(n, count, rng=ctx.rng(40 + n)))
+        greedy_values = np.asarray(ctx.map(_greedy_optimum, deltas_list), dtype=float)
+        batch = InstanceBatch.from_instances(
+            [homogeneous_instance(deltas) for deltas in deltas_list]
+        )
+        lp_values = optimal_values_batch(
+            batch, backend=ctx.resolved_lp_backend(), ctx=ctx  # type: ignore[arg-type]
+        ).objectives
+        matches = int(np.sum(times_close(greedy_values, lp_values, rtol=1e-6, atol=1e-9)))
+        all_match = all_match and matches == len(deltas_list)
+        rows.append(
+            [
+                f"n={n} greedy optimum = Corollary-1 LP optimum",
+                f"{matches}/{len(deltas_list)}",
+            ]
+        )
+    return rows, all_match
 
 
 def _five_task_flags(deltas: np.ndarray) -> list[bool]:
@@ -46,12 +87,20 @@ def run(
     sizes: Sequence[int] = (2, 3, 4),
     count: int = 60,
     five_task_count: int = 40,
+    lp_check_sizes: Sequence[int] = (2, 3, 4),
+    lp_check_count: int = 6,
     ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
-    """Verify the published optimal orders (n <= 4) and the 5-task condition."""
+    """Verify the published optimal orders (n <= 4) and the 5-task condition.
+
+    ``lp_check_sizes`` / ``lp_check_count`` control the cross-check of the
+    greedy recurrence against the exact Corollary 1 LP optimum (pass
+    ``lp_check_sizes=()`` to skip it).
+    """
     ctx = ctx if ctx is not None else ExecutionContext()
     count = ctx.scale(count, 1_000)
     five_task_count = ctx.scale(five_task_count, 500)
+    lp_check_count = ctx.scale(lp_check_count, 100)
     rows: list[list[object]] = []
     paper_holds_small = True  # paper's printed orders for n <= 3
     measured_holds = True  # this reproduction's closed-form orders for n <= 4
@@ -93,6 +142,16 @@ def run(
         ]
     )
     condition_holds = condition_ok == optimal_orders_checked
+    summary: dict[str, object] = {
+        "paper's n<=3 orders always optimal": paper_holds_small,
+        "paper's printed n=4 order (1,3,2,4) optimal": paper_n4_fraction,
+        "measured n<=4 pattern (1,3,2 / 1,3,4,2) always optimal": measured_holds,
+        "5-task necessary condition always satisfied": condition_holds,
+    }
+    if lp_check_sizes:
+        lp_rows, lp_match = _lp_cross_check(ctx, lp_check_sizes, lp_check_count)
+        rows.extend(lp_rows)
+        summary["greedy optimum matches the Corollary-1 LP optimum"] = lp_match
     return ExperimentResult(
         experiment_id="E3",
         title="Optimal greedy orders on homogeneous instances (Section V-B)",
@@ -102,12 +161,7 @@ def run(
         ),
         headers=["check", "result"],
         rows=rows,
-        summary={
-            "paper's n<=3 orders always optimal": paper_holds_small,
-            "paper's printed n=4 order (1,3,2,4) optimal": paper_n4_fraction,
-            "measured n<=4 pattern (1,3,2 / 1,3,4,2) always optimal": measured_holds,
-            "5-task necessary condition always satisfied": condition_holds,
-        },
+        summary=summary,
         notes=[
             "Tasks are relabelled so that delta_1 >= delta_2 >= ... before comparing with the "
             "paper's published orders.",

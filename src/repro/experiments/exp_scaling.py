@@ -64,6 +64,7 @@ def run(
     simplex_sizes: Sequence[int] = (5, 10),
     batch_sizes: Sequence[int] = (64,),
     batch_task_count: int = 32,
+    lp_batch_task_count: int = 5,
     ctx: ExecutionContext | None = None,
 ) -> ExperimentResult:
     """Measure runtimes of the polynomial solvers and the LP backends.
@@ -71,11 +72,14 @@ def run(
     In addition to the per-instance solver timings, the experiment measures
     the batched-execution substrate: for each ``B`` in ``batch_sizes`` it
     compares ``B`` scalar WDEQ runs against one vectorized
-    :func:`repro.batch.kernels.wdeq_batch` call, and ``B`` scalar
+    :func:`repro.batch.kernels.wdeq_batch` call, ``B`` scalar
     discrete-event simulations against one
-    :func:`repro.batch.sim_kernels.simulate_batch` call, reporting both
-    throughput gains in the summary.  Pass ``batch_sizes=()`` to skip that
-    section.
+    :func:`repro.batch.sim_kernels.simulate_batch` call, and ``B`` scalar
+    SciPy solves of the Corollary 1 ordered relaxation (at
+    ``lp_batch_task_count`` tasks) against one
+    :func:`repro.lp.batch.solve_ordered_relaxation_batch` lockstep solve,
+    reporting the three throughput gains in the summary.  Pass
+    ``batch_sizes=()`` to skip that section.
     """
     ctx = ctx if ctx is not None else ExecutionContext()
     if ctx.paper_scale:
@@ -98,6 +102,7 @@ def run(
             cell_sizes[record["cell"]] = record["params"].get("n", "-")
         for cell in sorted(by_cell):
             timings = by_cell[cell]
+            lp_ms = timings.get("ordered LP (HiGHS)")
             rows.append(
                 [
                     cell_sizes[cell],
@@ -106,7 +111,7 @@ def run(
                     f"{timings['greedy']:.2f}",
                     f"{timings['C_max']:.3f}",
                     f"{timings['L_max']:.2f}",
-                    "-",
+                    f"{lp_ms:.2f}" if lp_ms is not None else "-",
                     "-",
                 ]
             )
@@ -189,6 +194,41 @@ def run(
             ]
         )
         summary[f"simulate_batch speedup (B={B})"] = f"{sim_speedup:.1f}x"
+
+        from repro.lp.batch import smith_orders_batch, solve_ordered_relaxation_batch
+        from repro.workloads.generators import uniform_instances
+
+        lp_rng = ctx.rng(2)
+        lp_instances = list(uniform_instances(lp_batch_task_count, B, rng=lp_rng))
+        lp_orders = [inst.smith_order() for inst in lp_instances]
+        lp_serial_time = _time_call(
+            lambda: [
+                solve_ordered_relaxation(inst, order, backend="scipy", build_schedule=False)
+                for inst, order in zip(lp_instances, lp_orders)
+            ],
+            repeats=1,
+        )
+        lp_padded = PaddedBatch.from_instances(lp_instances)
+        lp_batch_time = _time_call(
+            lambda: solve_ordered_relaxation_batch(
+                lp_padded, smith_orders_batch(lp_padded), backend="batch"
+            ),
+            repeats=1,
+        )
+        lp_speedup = lp_serial_time / lp_batch_time if lp_batch_time > 0 else float("inf")
+        rows.append(
+            [
+                f"B={B} x n={lp_batch_task_count} (ordered LP)",
+                f"{lp_serial_time * 1e3:.2f} (serial)",
+                f"{lp_batch_time * 1e3:.2f} (batched)",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+            ]
+        )
+        summary[f"lp_batch speedup (B={B})"] = f"{lp_speedup:.1f}x"
     if batch_sizes:
         notes.append(
             "The B=... rows compare B scalar runs against one vectorized call on the padded "
@@ -196,7 +236,9 @@ def run(
             "the plain rows use the closed-form repro.batch.kernels.wdeq_batch kernel, the "
             "'(event sim)' rows the batched discrete-event engine "
             "repro.batch.sim_kernels.simulate_batch against the scalar "
-            "repro.simulation.engine.simulate."
+            "repro.simulation.engine.simulate, and the '(ordered LP)' rows the lockstep "
+            "Corollary-1 solver repro.lp.batch.solve_ordered_relaxation_batch against "
+            "per-instance SciPy/HiGHS solves."
         )
     return ExperimentResult(
         experiment_id="E7",

@@ -33,7 +33,47 @@ import numpy as np
 from repro.core.exceptions import InvalidScheduleError
 from repro.core.instance import Instance
 
-__all__ = ["OrderedLP", "build_ordered_lp"]
+__all__ = ["OrderedLP", "build_ordered_lp", "ordered_lp_dimensions", "position_area_layout"]
+
+
+def ordered_lp_dimensions(n: int) -> tuple[int, int, int]:
+    """Shape of the ordered LP for ``n`` tasks: ``(num_vars, num_ub_rows, num_eq_rows)``.
+
+    The LP has ``n`` column end times plus ``n (n+1) / 2`` area variables;
+    ``n - 1`` ordering rows, ``n`` capacity rows and one cap row per area
+    variable; and ``n`` volume-conservation equalities.  Shared by the scalar
+    builder and the batched assembly of :mod:`repro.lp.batch` so the two can
+    never drift apart.
+    """
+    num_areas = n * (n + 1) // 2
+    num_vars = n + num_areas
+    num_ub = max(n - 1, 0) + n + num_areas
+    return num_vars, num_ub, n
+
+
+def position_area_layout(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Variable layout of the *position-space* ordered LP for ``n`` tasks.
+
+    In position space the task completing column ``p`` is simply "position
+    ``p``", so the LP's sparsity pattern depends only on ``n`` — this is what
+    makes the batched assembly of :mod:`repro.lp.batch` possible: every LP of
+    a padded batch shares one pattern and only the coefficients vary.
+
+    Returns ``(x_index, pairs)`` where ``x_index[p, j]`` is the variable
+    index of the area given to the position-``p`` task in column ``j``
+    (``-1`` when ``j > p``) and ``pairs`` is the ``(num_areas, 2)`` array of
+    ``(p, j)`` pairs in variable order.  Variables ``0 .. n-1`` are the
+    column end times, exactly as in :func:`build_ordered_lp`.
+    """
+    x_index = np.full((n, n), -1, dtype=np.int64)
+    pairs = []
+    k = n
+    for p in range(n):
+        for j in range(p + 1):
+            x_index[p, j] = k
+            pairs.append((p, j))
+            k += 1
+    return x_index, np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
 
 
 @dataclass

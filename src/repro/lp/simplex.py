@@ -29,9 +29,19 @@ import numpy as np
 
 from repro.core.exceptions import SolverError
 
-__all__ = ["LinearProgramResult", "solve_linear_program"]
+__all__ = [
+    "LinearProgramResult",
+    "solve_linear_program",
+    "BatchLinearProgramResult",
+    "solve_linear_program_batch",
+]
 
 _EPS = 1e-9
+
+#: The incrementally-updated reduced costs of the batched solver are
+#: recomputed from scratch every this-many lockstep pivots (and always before
+#: a problem is declared optimal), bounding floating-point drift.
+_REFRESH_EVERY = 24
 
 
 @dataclass
@@ -191,6 +201,304 @@ def solve_linear_program(
     x = x_full[:nvar]
     return LinearProgramResult(
         x=x, objective=float(c @ x), status="optimal", iterations=iterations
+    )
+
+
+@dataclass
+class BatchLinearProgramResult:
+    """Outcome of a batched lockstep simplex solve.
+
+    Attributes
+    ----------
+    x:
+        ``(B, nvar)`` optimal structural variables (zeros for problems that
+        are not optimal).
+    objectives:
+        ``(B,)`` objective values; ``nan`` for infeasible problems and
+        ``-inf`` for unbounded ones, matching the scalar
+        :class:`LinearProgramResult` conventions.
+    statuses:
+        ``(B,)`` object array of ``"optimal"`` / ``"infeasible"`` /
+        ``"unbounded"``.
+    iterations:
+        ``(B,)`` pivots performed per problem (both phases).
+    """
+
+    x: np.ndarray
+    objectives: np.ndarray
+    statuses: np.ndarray
+    iterations: np.ndarray
+
+    @property
+    def all_optimal(self) -> bool:
+        """True when every problem of the batch reached optimality."""
+        return bool(np.all(self.statuses == "optimal"))
+
+
+def _exact_reduced_costs(cost: np.ndarray, T: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Reduced costs ``c - c_B B^{-1} A`` for every problem of a compacted batch."""
+    cb = np.take_along_axis(cost, basis, axis=1)
+    return cost - (cb[:, None, :] @ T)[:, 0, :]
+
+
+def _simplex_core_batch(
+    T: np.ndarray,
+    b: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    blocked: np.ndarray | None,
+    orig: np.ndarray,
+    out_T: np.ndarray,
+    out_b: np.ndarray,
+    out_basis: np.ndarray,
+    statuses: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int,
+) -> None:
+    """Run lockstep Bland pivots on a compacted ``(k, m, v)`` tableau batch.
+
+    ``T``/``b``/``basis``/``cost``/``orig`` are working copies holding only
+    the problems still pivoting; when a problem stops (optimal or unbounded)
+    its tableau is written back into ``out_*`` at row ``orig[i]`` and the
+    working arrays are compacted, so the per-iteration cost shrinks as
+    problems converge.  Reduced costs are maintained incrementally (a rank-1
+    update per pivot — the same transform the tableau undergoes) and
+    recomputed exactly every :data:`_REFRESH_EVERY` pivots and before any
+    problem is declared optimal, so termination decisions always use exact
+    values.  Entering/leaving selection is Bland's rule, identical to the
+    scalar :func:`_simplex_core`.
+    """
+    m = T.shape[1]
+    lockstep = 0
+    reduced = _exact_reduced_costs(cost, T, basis)
+    while T.shape[0]:
+        lockstep += 1
+        if lockstep > max_iterations:
+            raise SolverError(f"batched simplex exceeded {max_iterations} pivots")
+        if lockstep % _REFRESH_EVERY == 0:
+            reduced = _exact_reduced_costs(cost, T, basis)
+        cand = reduced < -_EPS
+        if blocked is not None:
+            cand &= ~blocked
+        maybe_done = np.nonzero(~cand.any(axis=1))[0]
+        if maybe_done.size:
+            # Verify with exact reduced costs before declaring optimality (the
+            # incremental values may drift slightly below the pivot threshold).
+            exact = _exact_reduced_costs(cost[maybe_done], T[maybe_done], basis[maybe_done])
+            reduced[maybe_done] = exact
+            exact_cand = exact < -_EPS
+            if blocked is not None:
+                exact_cand &= ~blocked
+            done = maybe_done[~exact_cand.any(axis=1)]
+            cand[maybe_done] = exact_cand
+            if done.size:
+                statuses[orig[done]] = "optimal"
+                out_T[orig[done]] = T[done]
+                out_b[orig[done]] = b[done]
+                out_basis[orig[done]] = basis[done]
+                keep = np.ones(T.shape[0], dtype=bool)
+                keep[done] = False
+                T, b, basis, cost, reduced, cand, orig = (
+                    T[keep], b[keep], basis[keep], cost[keep], reduced[keep], cand[keep], orig[keep]
+                )
+                if not T.shape[0]:
+                    return
+        k = T.shape[0]
+        ar = np.arange(k)
+        enter = np.argmax(cand, axis=1)  # Bland: smallest candidate index.
+        col = T[ar, :, enter]
+        positive = col > _EPS
+        unbounded = ~positive.any(axis=1)
+        if unbounded.any():
+            ui = np.nonzero(unbounded)[0]
+            statuses[orig[ui]] = "unbounded"
+            out_T[orig[ui]] = T[ui]
+            out_b[orig[ui]] = b[ui]
+            out_basis[orig[ui]] = basis[ui]
+            keep = ~unbounded
+            T, b, basis, cost, reduced, orig = (
+                T[keep], b[keep], basis[keep], cost[keep], reduced[keep], orig[keep]
+            )
+            enter, col, positive = enter[keep], col[keep], positive[keep]
+            k = T.shape[0]
+            ar = np.arange(k)
+            if not k:
+                return
+        ratios = np.where(positive, b / np.where(positive, col, 1.0), np.inf)
+        best = ratios.min(axis=1)
+        # Bland's rule for the leaving variable: among rows attaining the
+        # minimum ratio, the one whose basic variable has smallest index.
+        tie = np.abs(ratios - best[:, None]) <= 1e-12
+        leave = np.argmin(np.where(tie, basis, np.iinfo(np.int64).max), axis=1)
+        pivot_val = col[ar, leave]
+        pivot_row = T[ar, leave, :] / pivot_val[:, None]
+        pivot_b = b[ar, leave] / pivot_val
+        T -= col[:, :, None] * pivot_row[:, None, :]
+        b -= col * pivot_b[:, None]
+        T[ar, leave, :] = pivot_row
+        b[ar, leave] = pivot_b
+        np.maximum(b, 0.0, out=b)  # degenerate pivots can leave -1e-17 dust
+        basis[ar, leave] = enter
+        reduced -= reduced[ar, enter][:, None] * pivot_row
+        reduced[ar, enter] = 0.0
+        iterations[orig] += 1
+
+
+def solve_linear_program_batch(
+    c: np.ndarray,
+    A_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    A_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    max_iterations: int = 50_000,
+) -> BatchLinearProgramResult:
+    """Solve ``B`` independent LPs ``min c x, A_ub x <= b_ub, A_eq x = b_eq, x >= 0`` in lockstep.
+
+    The batched counterpart of :func:`solve_linear_program`: constraint
+    tensors carry a leading batch dimension (``A_ub`` is ``(B, m_ub, nvar)``
+    and so on; ``c`` may be ``(nvar,)`` or ``(B, nvar)``), every problem
+    shares one two-phase dense tableau layout, and pivots run as masked
+    array operations over the whole batch — converged problems are frozen
+    (removed from the working set) while the rest keep pivoting.  Pivot
+    selection is Bland's rule, the same tolerances as the scalar solver, so
+    the per-problem results match ``solve_linear_program`` up to floating-
+    point noise (property-tested in ``tests/test_lp_batch.py``).
+
+    Infeasible and unbounded problems are reported per problem through
+    :attr:`BatchLinearProgramResult.statuses`; like the scalar solver, only
+    hitting the pivot limit raises :class:`~repro.core.exceptions.SolverError`.
+    """
+    if A_ub is None and A_eq is None:
+        raise SolverError("a batched solve needs at least one constraint block")
+    probe = A_ub if A_ub is not None else A_eq
+    B = np.asarray(probe).shape[0]
+    c = np.asarray(c, dtype=float)
+    if c.ndim == 1:
+        c = np.broadcast_to(c, (B, c.size))
+    c = np.ascontiguousarray(c, dtype=float)
+    nvar = c.shape[1]
+    A_ub = np.zeros((B, 0, nvar)) if A_ub is None else np.asarray(A_ub, dtype=float)
+    b_ub = np.zeros((B, 0)) if b_ub is None else np.asarray(b_ub, dtype=float)
+    A_eq = np.zeros((B, 0, nvar)) if A_eq is None else np.asarray(A_eq, dtype=float)
+    b_eq = np.zeros((B, 0)) if b_eq is None else np.asarray(b_eq, dtype=float)
+    if A_ub.shape[2] != nvar or A_eq.shape[2] != nvar:
+        raise SolverError("constraint tensors do not match the number of variables")
+    if A_ub.shape[:2] != b_ub.shape or A_eq.shape[:2] != b_eq.shape:
+        raise SolverError("constraint tensors do not match their right-hand sides")
+    if c.shape[0] != B or A_eq.shape[0] != B:
+        raise SolverError("constraint tensors disagree on the batch size")
+
+    m_ub, m_eq = A_ub.shape[1], A_eq.shape[1]
+    m = m_ub + m_eq
+
+    # Sign-normalise exactly as the scalar solver: inequality rows with a
+    # negative rhs are negated (their slack becomes a surplus) and need an
+    # artificial; equality rows are sign-normalised and always get one.  To
+    # keep every problem on one tableau layout, an artificial *column* exists
+    # for an inequality row as soon as any problem of the batch needs it
+    # (problems that do not leave that column identically zero, so it can
+    # never enter their basis).
+    ub_flip = b_ub < 0
+    A_ub = np.where(ub_flip[:, :, None], -A_ub, A_ub)
+    b_ub = np.abs(b_ub)
+    eq_flip = b_eq < 0
+    A_eq = np.where(eq_flip[:, :, None], -A_eq, A_eq)
+    b_eq = np.abs(b_eq)
+
+    ub_art_rows = np.nonzero(ub_flip.any(axis=0))[0]
+    num_art = ub_art_rows.size + m_eq
+    slack_lo = nvar
+    art_lo = nvar + m_ub
+    total = nvar + m_ub + num_art
+
+    T = np.zeros((B, m, total))
+    T[:, :m_ub, :nvar] = A_ub
+    T[:, m_ub:, :nvar] = A_eq
+    slack_sign = np.where(ub_flip, -1.0, 1.0)
+    rows_ub = np.arange(m_ub)
+    T[:, rows_ub, slack_lo + rows_ub] = slack_sign
+    for a, row in enumerate(ub_art_rows):
+        T[:, row, art_lo + a] = np.where(ub_flip[:, row], 1.0, 0.0)
+    eq_art = art_lo + ub_art_rows.size + np.arange(m_eq)
+    T[:, m_ub + np.arange(m_eq), eq_art] = 1.0
+
+    bvec = np.concatenate([b_ub, b_eq], axis=1)
+    basis = np.zeros((B, m), dtype=np.int64)
+    basis[:, :m_ub] = slack_lo + rows_ub
+    for a, row in enumerate(ub_art_rows):
+        basis[:, row] = np.where(ub_flip[:, row], art_lo + a, basis[:, row])
+    basis[:, m_ub:] = eq_art
+
+    statuses = np.full(B, "optimal", dtype=object)
+    iterations = np.zeros(B, dtype=np.int64)
+
+    if num_art:
+        phase1_c = np.zeros((B, total))
+        phase1_c[:, art_lo:] = 1.0
+        orig = np.arange(B)
+        work = (T.copy(), bvec.copy(), basis.copy())
+        _simplex_core_batch(
+            *work, phase1_c, None, orig, T, bvec, basis, statuses, iterations, max_iterations
+        )
+        if not np.all(statuses == "optimal"):  # pragma: no cover - phase 1 is always bounded
+            raise SolverError("phase-1 batched simplex failed")
+        cb = np.take_along_axis(phase1_c, basis, axis=1)
+        phase1_obj = np.einsum("bm,bm->b", cb, bvec)
+        infeasible = phase1_obj > 1e-7 * np.maximum(1.0, np.abs(bvec).max(axis=1, initial=1.0))
+        statuses[infeasible] = "infeasible"
+        # Drive remaining basic artificials out (or neutralise their redundant
+        # rows) problem by problem — rare, so the scalar loop is fine.
+        art_in_basis = basis >= art_lo
+        for p in np.nonzero(art_in_basis.any(axis=1) & ~infeasible)[0]:
+            for r in np.nonzero(art_in_basis[p])[0]:
+                if bvec[p, r] > _EPS:  # pragma: no cover - contradicts phase-1 optimality
+                    continue
+                nonzero = np.nonzero(np.abs(T[p, r, :art_lo]) > _EPS)[0]
+                if nonzero.size == 0:
+                    continue
+                j = int(nonzero[0])
+                pivot_val = T[p, r, j]
+                T[p, r, :] /= pivot_val
+                bvec[p, r] /= pivot_val
+                others = np.abs(T[p, :, j]) > 0.0
+                others[r] = False
+                factors = T[p, others, j]
+                T[p, others, :] -= factors[:, None] * T[p, r, :]
+                bvec[p, others] -= factors * bvec[p, r]
+                basis[p, r] = j
+
+    phase2_c = np.zeros((B, total))
+    phase2_c[:, :nvar] = c
+    blocked = np.zeros(total, dtype=bool)
+    blocked[art_lo:] = True
+    running = np.nonzero(statuses == "optimal")[0]
+    if running.size:
+        statuses[running] = "running"
+        work = (T[running].copy(), bvec[running].copy(), basis[running].copy())
+        _simplex_core_batch(
+            *work,
+            phase2_c[running],
+            blocked,
+            running,
+            T,
+            bvec,
+            basis,
+            statuses,
+            iterations,
+            max_iterations,
+        )
+        if np.any(statuses == "running"):  # pragma: no cover - core always resolves
+            raise SolverError("phase-2 batched simplex failed")
+
+    x_full = np.zeros((B, total))
+    np.put_along_axis(x_full, basis, bvec, axis=1)
+    x = x_full[:, :nvar]
+    objectives = np.einsum("bv,bv->b", c, x)
+    optimal = statuses == "optimal"
+    x[~optimal] = 0.0
+    objectives = np.where(optimal, objectives, np.where(statuses == "infeasible", np.nan, -np.inf))
+    return BatchLinearProgramResult(
+        x=x, objectives=objectives, statuses=statuses, iterations=iterations
     )
 
 

@@ -175,6 +175,7 @@ def _solver_timing_cell(
 
     gen_kwargs, count, _, _ = split_cell_params(spec, cell)
     repeats = int(gen_kwargs.pop("repeats", 3))
+    lp_max_n = int(gen_kwargs.pop("lp_max_n", 0))
     instances, _ = build_cell_workload(spec.generator, gen_kwargs, 1, {}, {}, cell.seed)
     inst = instances[0]
     order = inst.smith_order()
@@ -195,6 +196,15 @@ def _solver_timing_cell(
         "C_max": lambda: minimal_makespan(inst),
         "L_max": lambda: minimize_max_lateness(inst, completions),
     }
+    if 0 < inst.n <= lp_max_n:
+        # The ordered-relaxation LP is polynomial per *ordering* but much
+        # heavier than the combinatorial solvers, so the spec opts in via
+        # params.lp_max_n (experiment E7's grid caps it at moderate n).
+        from repro.lp.interface import solve_ordered_relaxation
+
+        solvers["ordered LP (HiGHS)"] = lambda: solve_ordered_relaxation(
+            inst, order, backend="scipy", build_schedule=False
+        )
     return [
         _record(spec, cell, name, 1, {"best_ms": best_of(fn)})
         for name, fn in solvers.items()
@@ -356,7 +366,16 @@ class SweepRunner:
                 cache_key(
                     f"scenario:{self.spec.name}",
                     self.ctx.seed,
-                    {"cell": p["cell"], "backend": p["backend"], "spec": p["spec"]},
+                    {
+                        "cell": p["cell"],
+                        "backend": p["backend"],
+                        "spec": p["spec"],
+                        # Cells that solve LPs depend on the solver; keying
+                        # on the resolved backend means neither a --lp-backend
+                        # switch nor an 'auto' that resolves differently can
+                        # serve stale cells.
+                        "lp_backend": self.ctx.resolved_lp_backend(),
+                    },
                 )
                 for p in payloads
             ]

@@ -8,6 +8,24 @@ import pytest
 from repro import Instance, Task
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the committed golden files in tests/golden/ from fresh "
+            "serial runs instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite the golden files."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""

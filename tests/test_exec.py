@@ -161,6 +161,41 @@ class TestExecutionContext:
         other.cached("sweep", {"n": 1}, compute)
         assert len(calls) == 2
 
+    def test_cached_keys_include_the_resolved_lp_backend(self):
+        # Regression test: results computed with one LP solver must never be
+        # served to a run using another solver from a shared cache — the old
+        # keys ignored the selection entirely.
+        cache = ResultCache()
+        values = iter(["scipy-result", "simplex-result", "kernel-result", "unused"])
+
+        def compute():
+            return next(values)
+
+        scipy_ctx = ExecutionContext(cache=cache, lp_backend="scipy")
+        simplex_ctx = ExecutionContext(cache=cache, lp_backend="simplex")
+        assert scipy_ctx.cached("sweep", {"n": 1}, compute) == "scipy-result"
+        assert simplex_ctx.cached("sweep", {"n": 1}, compute) == "simplex-result"
+        # Each selection keeps hitting its own entry afterwards.
+        assert scipy_ctx.cached("sweep", {"n": 1}, compute) == "scipy-result"
+        assert simplex_ctx.cached("sweep", {"n": 1}, compute) == "simplex-result"
+        # 'auto' keys on what it resolves to: a serial auto context shares
+        # the scipy entry, a vectorized auto context gets its own (kernel).
+        serial_auto = ExecutionContext(cache=cache)
+        vectorized_auto = ExecutionContext(cache=cache, backend="vectorized")
+        assert serial_auto.cached("sweep", {"n": 1}, compute) == "scipy-result"
+        assert vectorized_auto.cached("sweep", {"n": 1}, compute) == "kernel-result"
+        # A caller-supplied params entry cannot shadow the context's solver:
+        # the bogus 'batch' value is overwritten, so this hits the scipy entry.
+        assert (
+            scipy_ctx.cached("sweep", {"n": 1, "lp_backend": "batch"}, compute) == "scipy-result"
+        )
+
+    def test_from_options_lp_backend(self):
+        assert ExecutionContext.from_options().lp_backend == "auto"
+        ctx = ExecutionContext.from_options(lp_backend="simplex")
+        assert ctx.lp_backend == "simplex"
+        assert ctx.resolved_lp_backend() == "simplex"
+
     def test_close_saves_backed_cache(self, tmp_path):
         path = tmp_path / "cache.json"
         ctx = ExecutionContext(cache=ResultCache(path=path))

@@ -73,12 +73,15 @@ class TestExperimentRuns:
             simplex_sizes=(),
             batch_sizes=(16,),
             batch_task_count=8,
+            lp_batch_task_count=4,
         )
-        assert len(result.rows) == 2
+        assert len(result.rows) == 3
         assert result.rows[0][0] == "B=16 x n=8"
         assert result.rows[1][0] == "B=16 x n=8 (event sim)"
+        assert result.rows[2][0] == "B=16 x n=4 (ordered LP)"
         assert "wdeq_batch speedup (B=16)" in result.summary
         assert "simulate_batch speedup (B=16)" in result.summary
+        assert "lp_batch speedup (B=16)" in result.summary
 
     def test_e8_bandwidth(self):
         result = run_experiment("E8", worker_counts=(5,), count=2)

@@ -95,6 +95,40 @@ class TestSimplexSolver:
         with pytest.raises(SolverError):
             solve_linear_program(c=np.array([1.0, 2.0]), A_ub=np.ones((1, 3)), b_ub=np.ones(1))
 
+    def test_pivot_limit_raises(self, rng):
+        c = rng.normal(size=4)
+        A = rng.normal(size=(3, 4))
+        b = rng.uniform(0.5, 2.0, size=3)
+        with pytest.raises(SolverError):
+            solve_linear_program(c, A_ub=A, b_ub=b, max_iterations=1)
+
+    def test_negative_equality_rhs_is_sign_normalised(self):
+        # -x - y = -2 is the same constraint as x + y = 2.
+        result = solve_linear_program(
+            c=np.array([1.0, 2.0]),
+            A_eq=np.array([[-1.0, -1.0]]),
+            b_eq=np.array([-2.0]),
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+
+    def test_redundant_equality_rows(self):
+        # Duplicated equality rows leave an artificial in the basis at value
+        # zero after phase 1; the drive-out path must still find the optimum.
+        result = solve_linear_program(
+            c=np.array([1.0, 1.0]),
+            A_eq=np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]]),
+            b_eq=np.array([2.0, 2.0, 4.0]),
+        )
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0)
+
+    def test_rhs_size_mismatch(self):
+        with pytest.raises(SolverError):
+            solve_linear_program(
+                c=np.array([1.0]), A_ub=np.ones((2, 1)), b_ub=np.ones(3)
+            )
+
     def test_matches_scipy_on_random_lps(self, rng):
         from scipy.optimize import linprog
 
@@ -110,6 +144,33 @@ class TestSimplexSolver:
             else:
                 assert ours.is_optimal
                 assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+
+
+class TestScipyBackendStatuses:
+    def test_infeasible_lp_reported(self, small_instance):
+        lp = build_ordered_lp(small_instance, [0, 1, 2, 3])
+        lp.b_eq = -np.ones_like(lp.b_eq)  # sum of non-negatives = -1
+        result = solve_with_scipy(lp)
+        assert result.status == "infeasible"
+        assert np.isnan(result.objective)
+
+    def test_unbounded_lp_reported(self, small_instance):
+        from repro.lp.formulation import OrderedLP
+
+        lp = OrderedLP(
+            instance=small_instance,
+            order=(0,),
+            c=np.array([-1.0]),
+            A_ub=np.zeros((0, 1)),
+            b_ub=np.zeros(0),
+            A_eq=np.zeros((0, 1)),
+            b_eq=np.zeros(0),
+            num_column_vars=1,
+            area_index={},
+        )
+        result = solve_with_scipy(lp)
+        assert result.status == "unbounded"
+        assert result.objective == -np.inf
 
 
 class TestOrderedRelaxation:

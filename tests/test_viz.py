@@ -47,6 +47,40 @@ class TestGantt:
         chart = render_allocation_chart(wdeq_schedule(inst), width=30)
         assert "..." in chart
 
+    def test_allocation_chart_explicit_height(self, instance):
+        chart = render_allocation_chart(wdeq_schedule(instance), width=20, height=6)
+        # height rows + axis + legend
+        assert len(chart.splitlines()) == 8
+
+    def test_allocation_chart_symbols_cycle_past_62_tasks(self):
+        inst = Instance(P=70, tasks=[Task(1, 1, 1) for _ in range(65)])
+        chart = render_allocation_chart(wdeq_schedule(inst), width=12, height=4)
+        assert "..." in chart  # legend truncated, symbols wrapped without error
+
+    def test_allocation_chart_axis_shows_horizon(self, instance):
+        sched = wdeq_schedule(instance)
+        chart = render_allocation_chart(sched, width=40)
+        horizon = f"{sched.completion_times[-1]:.3g}"
+        assert chart.splitlines()[-2].endswith(horizon)
+
+    def test_processor_gantt_empty_schedule(self):
+        inst = Instance(P=2, tasks=[Task(2, 1, 1), Task(2, 1, 2)])
+        sched = water_filling_schedule(inst, wdeq_schedule(inst).completion_times_by_task())
+        assignment = assign_processors(sched)
+        empty = type(assignment)(
+            instance=inst,
+            num_processors=assignment.num_processors,
+            segments=[[] for _ in assignment.segments],
+        )
+        assert "empty" in render_processor_gantt(empty)
+
+    def test_processor_gantt_legend_truncated(self):
+        inst = Instance(P=14, tasks=[Task(1, 1, 1) for _ in range(14)])
+        sched = water_filling_schedule(inst, wdeq_schedule(inst).completion_times_by_task())
+        chart = render_processor_gantt(assign_processors(sched), width=20)
+        assert "..." in chart
+        assert chart.count("|") >= 2 * int(inst.P)
+
 
 class TestTables:
     def test_format_table_alignment(self):

@@ -40,6 +40,15 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
         ["repro.core.batch", "repro.batch.kernels", "repro.batch.sim_kernels",
          "repro.batch.runner", "repro.batch.cache"],
     ),
+    "lp.md": (
+        "repro.lp — ordered-relaxation LPs",
+        "The Corollary 1 linear-programming layer: the fixed-ordering "
+        "formulation, the SciPy/HiGHS and bespoke-simplex scalar backends, "
+        "and the batched subsystem that assembles and solves a whole "
+        "`InstanceBatch` of LPs in lockstep.",
+        ["repro.lp.formulation", "repro.lp.interface", "repro.lp.batch",
+         "repro.lp.simplex", "repro.lp.scipy_backend"],
+    ),
     "scenarios.md": (
         "repro.scenarios — declarative sweeps",
         "The scenario engine: TOML-loadable specs, deterministic grid "
