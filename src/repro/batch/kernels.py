@@ -368,7 +368,8 @@ def lower_bound_batch(
     num_fractions: int = 5,
     backend: str = "batch",
     ctx: "object | None" = None,
-    max_exact_tasks: int = 7,
+    max_exact_tasks: "int | None" = None,
+    exact_method: str = "branch-and-bound",
 ) -> np.ndarray:
     """Per-row lower bounds on the optimal weighted completion time, shape ``(B,)``.
 
@@ -379,14 +380,17 @@ def lower_bound_batch(
         :func:`combined_lower_bound_batch` — cheap, valid at any size, and
         what the empirical-ratio experiments use as the denominator.
     ``"exact"``
-        The exact optimum ``OPT(I)`` per row, obtained by enumerating every
-        completion ordering and solving the Corollary 1 LPs through the
-        batched solver of :mod:`repro.lp.batch`
-        (:func:`~repro.lp.batch.optimal_values_batch`).  Exponential in the
-        per-row task count and therefore guarded by ``max_exact_tasks``;
-        ``backend`` / ``ctx`` are forwarded to the batched LP layer, so a
-        vectorized context solves the enumeration in lockstep chunks while a
-        process-pool context shards scalar solves over its workers.
+        The exact optimum ``OPT(I)`` per row, from
+        :func:`repro.lp.batch.optimal_values_batch`: by default the
+        subset-memoized branch-and-bound of :mod:`repro.lp.exact` (practical
+        up to ``n ~ 14`` tasks per row), or the exhaustive
+        ordering enumeration with ``exact_method="enumerate"``.  Exponential
+        in the per-row task count and therefore guarded by
+        ``max_exact_tasks`` (defaulting per method — 14 for branch-and-bound,
+        7 for enumeration); ``backend`` / ``ctx`` are forwarded to the
+        batched LP layer, so a vectorized context evaluates prefixes in
+        lockstep chunks while a process-pool context shards scalar solves
+        over its workers.
 
     The exact method dominates the combined bound (it *is* the optimum), so
     ``lower_bound_batch(batch, "exact") >= lower_bound_batch(batch)`` up to
@@ -398,7 +402,11 @@ def lower_bound_batch(
         from repro.lp.batch import optimal_values_batch
 
         return optimal_values_batch(
-            batch, backend=backend, ctx=ctx, max_tasks=max_exact_tasks  # type: ignore[arg-type]
+            batch,
+            backend=backend,  # type: ignore[arg-type]
+            ctx=ctx,  # type: ignore[arg-type]
+            max_tasks=max_exact_tasks,
+            method=exact_method,
         ).objectives
     raise InvalidInstanceError(
         f"unknown lower-bound method {method!r}; expected 'combined' or 'exact'"

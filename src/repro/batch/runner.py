@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.batch.cache import ResultCache, cache_key
 
-__all__ = ["BatchRunner", "ShardResult"]
+__all__ = ["BatchRunner", "ShardResult", "CHUNKS_PER_WORKER", "chunk_ranges"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,32 @@ class ShardResult:
     shard: int
     spawn_key: tuple
     results: list
+
+
+#: Chunks submitted per worker by :meth:`BatchRunner.map` — two keeps the
+#: pool busy when chunk runtimes are uneven without multiplying the
+#: serialization round trips.
+CHUNKS_PER_WORKER = 2
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> list:
+    """Apply ``fn`` to one chunk of items (worker body of :meth:`BatchRunner.map`).
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`.
+    """
+    return [fn(item) for item in chunk]
+
+
+def chunk_ranges(count: int, workers: int, chunks: int | None = None) -> "list[tuple[int, int]]":
+    """Split ``count`` items into at most ``workers * CHUNKS_PER_WORKER``
+    contiguous ``[lo, hi)`` ranges (or ``chunks`` when given), dropping
+    empty ones.  Shared by :meth:`BatchRunner.map` and
+    :meth:`repro.exec.ExecutionContext.map_batch`, so the adaptive-chunking
+    heuristic lives in exactly one place.
+    """
+    chunk_count = min(count, max(1, chunks if chunks else workers * CHUNKS_PER_WORKER))
+    bounds = np.linspace(0, count, chunk_count + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
 
 def _run_shard(
@@ -97,6 +123,8 @@ class BatchRunner:
         self.executor = executor
         self.cache = cache
         self._pool: ProcessPoolExecutor | ThreadPoolExecutor | None = None
+        #: Futures submitted by the most recent :meth:`map` call (0 inline).
+        self.last_submission_count = 0
 
     def __repr__(self) -> str:
         return (
@@ -144,12 +172,29 @@ class BatchRunner:
         The drop-in replacement for the experiments' historical
         ``[fn(x) for x in instances]`` loops: identical results, shared
         across workers when ``workers > 1``.
+
+        Items are submitted in **adaptive chunks**: at most
+        ``workers * CHUNKS_PER_WORKER`` futures regardless of the item
+        count (each carrying a contiguous slice), so a 100k-item map costs
+        O(workers) submissions and pickling round trips instead of one
+        future per item.  :attr:`last_submission_count` records the number
+        of futures of the most recent call (0 for the inline path) — the
+        chunking regression test in ``tests/test_exec.py`` pins this.
         """
         items = list(items)
         if self.workers <= 1 or len(items) <= 1:
+            self.last_submission_count = 0
             return [fn(item) for item in items]
-        chunksize = max(1, min(self.batch_size, len(items) // self.workers or 1))
-        return list(self._get_pool().map(fn, items, chunksize=chunksize))
+        pool = self._get_pool()
+        futures = [
+            pool.submit(_apply_chunk, fn, items[lo:hi])
+            for lo, hi in chunk_ranges(len(items), self.workers)
+        ]
+        self.last_submission_count = len(futures)
+        results: list = []
+        for future in futures:
+            results.extend(future.result())
+        return results
 
     # ------------------------------------------------------------------ #
     # Generating and processing a suite shard by shard

@@ -30,6 +30,11 @@ name), preview its grid, and persist the results store::
     malleable-repro sweep bursty-poisson --batch --output-dir results/
     malleable-repro sweep --list
 
+Find the hot paths of an experiment or sweep before optimising it::
+
+    malleable-repro profile E7 --batch --top 30
+    malleable-repro profile e7-solver-scaling --sort tottime
+
 Every execution flag maps onto one :class:`repro.exec.ExecutionContext`
 that is handed to every experiment and sweep — the CLI contains no
 per-experiment execution wiring.
@@ -109,6 +114,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_execution_arguments(sweep_parser)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run an experiment or sweep under cProfile and print the hot paths",
+    )
+    profile_parser.add_argument(
+        "target",
+        help=(
+            "what to profile: an experiment id (e.g. E7), a built-in scenario "
+            "name (e.g. e7-solver-scaling) or a scenario TOML path"
+        ),
+    )
+    profile_parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="number of rows of the profile table to print (default 25)",
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort order for the table (default cumulative)",
+    )
+    profile_parser.add_argument(
+        "--profile-output",
+        default=None,
+        metavar="PATH",
+        help="also dump the raw cProfile stats to PATH (for snakeviz etc.)",
+    )
+    _add_execution_arguments(profile_parser)
     return parser
 
 
@@ -143,6 +179,15 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--shm",
+        action="store_true",
+        help=(
+            "publish batch inputs to the worker pool through zero-copy shared "
+            "memory (repro.exec.shm) instead of pickling them per chunk; only "
+            "meaningful together with --workers"
+        ),
+    )
+    parser.add_argument(
         "--lp-backend",
         default="auto",
         choices=("auto", "scipy", "simplex"),
@@ -164,6 +209,7 @@ def context_from_args(args: argparse.Namespace) -> ExecutionContext:
         workers=args.workers,
         cache_dir=args.cache_dir,
         lp_backend=getattr(args, "lp_backend", "auto"),
+        shm=getattr(args, "shm", False),
     )
 
 
@@ -206,6 +252,45 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: cProfile one experiment or sweep.
+
+    Future performance work starts here instead of with ad-hoc scripts:
+    ``malleable-repro profile E7 --batch`` runs the target under
+    :mod:`cProfile` with the same execution flags as ``run`` / ``sweep``
+    and prints the top-N cumulative table (plus an optional raw stats dump
+    for flame-graph viewers).
+    """
+    import cProfile
+    import pstats
+
+    target = args.target
+    experiment_ids = set(EXPERIMENTS)
+    profiler = cProfile.Profile()
+    with context_from_args(args) as ctx:
+        if target in experiment_ids:
+            spec = get_experiment(target)
+            profiler.enable()
+            spec.run(ctx=ctx)
+            profiler.disable()
+        else:
+            from repro.scenarios import SweepRunner
+
+            sweep_spec = _resolve_spec(target)
+            runner = SweepRunner(sweep_spec, ctx)
+            profiler.enable()
+            runner.run()
+            profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    print(f"profile of {target!r} (sorted by {args.sort}, top {args.top}):")
+    stats.print_stats(args.top)
+    if args.profile_output:
+        stats.dump_stats(args.profile_output)
+        print(f"wrote raw profile stats to {args.profile_output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``malleable-repro`` console script."""
     parser = build_parser()
@@ -233,6 +318,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+
+    if args.command == "profile":
+        return _run_profile(args)
 
     if args.command == "all":
         with context_from_args(args) as ctx:

@@ -61,6 +61,13 @@ LP_BACKENDS = ("auto", "scipy", "simplex")
 CACHE_FILE_NAME = "results-cache.json"
 
 
+def _apply_batch_chunk(fn: Callable[..., Any], sub_batch: Any, extra: "Mapping[str, Any] | None") -> list:
+    """Worker body of the pickling (non-shm) :meth:`ExecutionContext.map_batch` path."""
+    if extra:
+        return list(fn(sub_batch, dict(extra)))
+    return list(fn(sub_batch))
+
+
 @dataclass
 class ExecutionContext:
     """Bundles seed, scale, backend, runner and cache for one experiment run.
@@ -88,6 +95,13 @@ class ExecutionContext:
         :meth:`cached`.  A cache constructed with a backing path is saved by
         :meth:`close`, which is how ``--cache-dir`` persists results across
         CLI invocations.
+    shm:
+        Publish :meth:`map_batch` inputs through the zero-copy
+        shared-memory transport of :mod:`repro.exec.shm` instead of
+        pickling sub-batches into the worker processes.  Only observable
+        on a context with a process pool; results are identical either way
+        (asserted by ``tests/test_exact.py``), the difference is that the
+        per-chunk payload shrinks to a segment name + row range.
     lp_backend:
         Which solver the LP layer should use, one of :data:`LP_BACKENDS`.
         The default ``"auto"`` picks the batched lockstep kernel of
@@ -116,6 +130,7 @@ class ExecutionContext:
     runner: BatchRunner | None = None
     cache: ResultCache | None = None
     lp_backend: str = "auto"
+    shm: bool = False
     _owns_runner: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -157,6 +172,7 @@ class ExecutionContext:
         workers: int = 0,
         cache_dir: str | os.PathLike | None = None,
         lp_backend: str = "auto",
+        shm: bool = False,
     ) -> "ExecutionContext":
         """Build a context from CLI-style flags.
 
@@ -166,7 +182,8 @@ class ExecutionContext:
         ``--cache-dir`` attaches a :class:`ResultCache` persisted to
         ``<cache_dir>/results-cache.json`` (created on demand, reloaded on
         the next invocation, saved by :meth:`close`); ``--lp-backend``
-        selects the LP solver (see :data:`LP_BACKENDS`).
+        selects the LP solver (see :data:`LP_BACKENDS`); ``--shm`` switches
+        the pool's batch maps onto the shared-memory transport.
         """
         if batch:
             backend = "vectorized"
@@ -185,6 +202,7 @@ class ExecutionContext:
             workers=workers,
             cache=cache,
             lp_backend=lp_backend,
+            shm=shm,
         )
 
     @classmethod
@@ -295,6 +313,108 @@ class ExecutionContext:
         if self.runner is not None:
             return self.runner.map(fn, items)
         return [fn(item) for item in items]
+
+    def map_batch(
+        self,
+        fn: Callable[..., Any],
+        batch: Any,
+        extra: "Mapping[str, Any] | None" = None,
+        chunks: int | None = None,
+    ) -> list:
+        """Map ``fn`` over row-chunks of an ``InstanceBatch``, row order kept.
+
+        ``fn`` receives a contiguous row slice of ``batch`` (and, when
+        ``extra`` per-row arrays are supplied, a dict of their matching
+        slices as a second argument) and must return one result per row;
+        the concatenation over chunks is returned as a flat list.  ``fn``
+        must be row-independent — chunk boundaries must not change values —
+        which is what makes the backends interchangeable:
+
+        * without a worker pool the whole batch is one chunk in-process;
+        * a pool context pickles each sub-batch into a worker, one future
+          per chunk (O(workers) submissions);
+        * with ``shm=True`` the batch is published **once** through
+          :func:`repro.exec.shm.publish_batch` and each future carries only
+          ``(handle, lo, hi)`` — the zero-copy path for large sweeps.
+
+        ``batch`` may also be an already-published
+        :class:`repro.exec.shm.SharedBatch` — the publish step is then
+        skipped (and the published extra arrays are used), which is how a
+        sweep maps several functions over one cell for a single
+        publication.  ``chunks`` defaults to ``2 x`` the pool's worker
+        count.
+        """
+        from repro.core.batch import InstanceBatch  # local: keep import cheap
+        from repro.exec.shm import SharedBatch
+
+        shared_in: SharedBatch | None = None
+        if isinstance(batch, SharedBatch):
+            if extra is not None:
+                raise ValueError("pass extra arrays to publish_batch, not to map_batch, for a SharedBatch")
+            shared_in = batch
+            batch = shared_in.batch
+            extra = shared_in.extra
+        if not isinstance(batch, InstanceBatch):
+            raise TypeError(f"map_batch expects an InstanceBatch, got {type(batch).__name__}")
+        B = batch.batch_size
+        extra_arrays = {name: np.asarray(value) for name, value in (extra or {}).items()}
+        for name, value in extra_arrays.items():
+            if value.shape[:1] != (B,):
+                raise ValueError(
+                    f"extra array {name!r} must have leading dimension {B}, got {value.shape}"
+                )
+        if self.runner is None or self.runner.workers <= 1 or B <= 1:
+            if extra_arrays:
+                return list(fn(batch, extra_arrays))
+            return list(fn(batch))
+        from repro.batch.runner import chunk_ranges
+
+        ranges = chunk_ranges(B, self.runner.workers, chunks)
+        pool = self.runner._get_pool()
+        if self.shm:
+            from repro.exec.shm import apply_shared_chunk, publish_batch
+
+            shared = shared_in if shared_in is not None else publish_batch(batch, **extra_arrays)
+            try:
+                futures = [
+                    pool.submit(apply_shared_chunk, (fn, shared.handle, lo, hi))
+                    for lo, hi in ranges
+                ]
+                self.runner.last_submission_count = len(futures)
+                results: list = []
+                for future in futures:
+                    results.extend(future.result())
+            finally:
+                if shared_in is None:  # caller-published batches outlive the call
+                    shared.close()
+            return results
+        from repro.exec.shm import slice_batch
+
+        futures = []
+        for lo, hi in ranges:
+            sub = slice_batch(batch, lo, hi)
+            if extra_arrays:
+                sliced = {name: value[lo:hi] for name, value in extra_arrays.items()}
+                futures.append(pool.submit(_apply_batch_chunk, fn, sub, sliced))
+            else:
+                futures.append(pool.submit(_apply_batch_chunk, fn, sub, None))
+        self.runner.last_submission_count = len(futures)
+        results = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def publish(self, batch: Any, **extra: Any) -> Any:
+        """Publish a batch once for repeated :meth:`map_batch` calls.
+
+        Thin wrapper over :func:`repro.exec.shm.publish_batch`; the
+        returned :class:`~repro.exec.shm.SharedBatch` is a context manager
+        that unlinks its segment on exit and can be passed to
+        :meth:`map_batch` in place of the batch on any backend.
+        """
+        from repro.exec.shm import publish_batch
+
+        return publish_batch(batch, **extra)
 
     def cached(
         self, name: str, params: Mapping[str, Any], compute: Callable[[], Any]

@@ -16,7 +16,11 @@ This subpackage provides
 * :mod:`repro.lp.batch` — the batched ordered-relaxation solver: one padded
   ``(B, rows, cols)`` assembly plus one lockstep solve for a whole
   :class:`~repro.core.batch.InstanceBatch`, with a SciPy dispatch fallback
-  over :meth:`repro.exec.ExecutionContext.map`.
+  over :meth:`repro.exec.ExecutionContext.map`,
+* :mod:`repro.lp.exact` — the exact-OPT engine: branch-and-bound over
+  completion suffixes with closed-form density floors and
+  feasibility-certified leaves, replacing the ``n!`` ordering enumeration
+  behind :func:`~repro.lp.batch.optimal_values_batch`.
 """
 
 from repro.lp.batch import (
@@ -27,6 +31,11 @@ from repro.lp.batch import (
     optimal_values_batch,
     smith_orders_batch,
     solve_ordered_relaxation_batch,
+)
+from repro.lp.exact import (
+    ExactSearchStats,
+    branch_and_bound_optimal_batch,
+    permutation_table,
 )
 from repro.lp.formulation import OrderedLP, build_ordered_lp, ordered_lp_dimensions
 from repro.lp.interface import OrderedLPSolution, solve_ordered_relaxation
@@ -54,4 +63,7 @@ __all__ = [
     "solve_ordered_relaxation_batch",
     "optimal_values_batch",
     "smith_orders_batch",
+    "ExactSearchStats",
+    "branch_and_bound_optimal_batch",
+    "permutation_table",
 ]

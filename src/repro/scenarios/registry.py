@@ -69,8 +69,11 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             generator="cluster_instances",
             pipeline="solver-timing",
             # lp_max_n opts the fixed-ordering LP into the timing line-up for
-            # the cells where one HiGHS solve stays sub-second.
-            params={"P": 64.0, "lp_max_n": 50},
+            # the cells where one HiGHS solve stays sub-second; exact_max_n
+            # does the same for the NP-hard exact optimum, which the
+            # branch-and-bound engine of repro.lp.exact keeps affordable at
+            # the n=10 cell (enumeration would need 3.6M LPs there).
+            params={"P": 64.0, "lp_max_n": 50, "exact_max_n": 10},
             grid={"n": (10, 50, 200, 500)},
             count=1,
         ),

@@ -176,6 +176,7 @@ def _solver_timing_cell(
     gen_kwargs, count, _, _ = split_cell_params(spec, cell)
     repeats = int(gen_kwargs.pop("repeats", 3))
     lp_max_n = int(gen_kwargs.pop("lp_max_n", 0))
+    exact_max_n = int(gen_kwargs.pop("exact_max_n", 0))
     instances, _ = build_cell_workload(spec.generator, gen_kwargs, 1, {}, {}, cell.seed)
     inst = instances[0]
     order = inst.smith_order()
@@ -204,6 +205,17 @@ def _solver_timing_cell(
 
         solvers["ordered LP (HiGHS)"] = lambda: solve_ordered_relaxation(
             inst, order, backend="scipy", build_schedule=False
+        )
+    if 0 < inst.n <= exact_max_n:
+        # Exact OPT is NP-hard; the branch-and-bound engine of
+        # repro.lp.exact makes it affordable to ~n=12-14, and the spec opts
+        # in via params.exact_max_n the same way lp_max_n gates the LP row.
+        from repro.core.batch import InstanceBatch
+        from repro.lp.batch import optimal_values_batch
+
+        exact_batch = InstanceBatch.from_instances([inst])
+        solvers["exact OPT (branch-and-bound)"] = lambda: optimal_values_batch(
+            exact_batch, method="branch-and-bound"
         )
     return [
         _record(spec, cell, name, 1, {"best_ms": best_of(fn)})

@@ -109,3 +109,65 @@ class TestMain:
         # A second invocation reloads the persisted cache without error.
         assert main(["run", "E3", "--cache-dir", str(cache_dir)]) == 0
         capsys.readouterr()
+
+
+class TestProfile:
+    def test_profile_flags_parse(self):
+        args = build_parser().parse_args(
+            ["profile", "E7", "--top", "10", "--sort", "tottime", "--batch"]
+        )
+        assert args.command == "profile"
+        assert args.target == "E7"
+        assert args.top == 10 and args.sort == "tottime" and args.batch is True
+
+    def test_shm_flag_parses_and_reaches_the_context(self):
+        args = build_parser().parse_args(["run", "E1", "--workers", "2", "--shm"])
+        ctx = context_from_args(args)
+        try:
+            assert ctx.shm is True and ctx.backend == "process-pool"
+        finally:
+            ctx.close()
+
+    def test_profile_scenario_prints_table(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(
+            "\n".join(
+                [
+                    '[scenario]',
+                    'name = "tiny-profile"',
+                    'generator = "uniform_instances"',
+                    'count = 2',
+                    'policies = ["WDEQ"]',
+                    '[scenario.grid]',
+                    'n = [3]',
+                    "",
+                ]
+            )
+        )
+        assert main(["profile", str(spec), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of" in out
+        assert "cumulative" in out
+
+    def test_profile_dumps_raw_stats(self, tmp_path, capsys):
+        import pstats
+
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(
+            "\n".join(
+                [
+                    '[scenario]',
+                    'name = "tiny-profile-dump"',
+                    'generator = "uniform_instances"',
+                    'count = 1',
+                    'policies = ["WDEQ"]',
+                    '[scenario.grid]',
+                    'n = [2]',
+                    "",
+                ]
+            )
+        )
+        dump = tmp_path / "profile.pstats"
+        assert main(["profile", str(spec), "--profile-output", str(dump)]) == 0
+        capsys.readouterr()
+        pstats.Stats(str(dump))  # loads back as a valid stats file

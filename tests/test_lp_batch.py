@@ -425,8 +425,8 @@ class TestOptimalValuesBatch:
             Instance.from_arrays(P=2.0, volumes=rng.uniform(0.5, 2.0, size=4)) for _ in range(5)
         ]
         batch = InstanceBatch.from_instances(insts)
-        whole = optimal_values_batch(batch)
-        chunked = optimal_values_batch(batch, chunk_size=24)  # one row per chunk
+        whole = optimal_values_batch(batch, method="enumerate")
+        chunked = optimal_values_batch(batch, method="enumerate", chunk_size=24)  # one row per chunk
         np.testing.assert_allclose(whole.objectives, chunked.objectives, rtol=1e-9)
         assert whole.orderings_evaluated == chunked.orderings_evaluated == 5 * 24
 

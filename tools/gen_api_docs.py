@@ -29,8 +29,17 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
     "exec.md": (
         "repro.exec — execution contexts",
         "The execution layer: one `ExecutionContext` object decides *how* every "
-        "experiment and sweep runs (backend, workers, seed, cache).",
-        ["repro.exec.context"],
+        "experiment and sweep runs (backend, workers, seed, cache), including "
+        "the zero-copy shared-memory transport of `repro.exec.shm`.",
+        ["repro.exec.context", "repro.exec.shm"],
+    ),
+    "exact.md": (
+        "repro.lp.exact — the exact-OPT engine",
+        "Branch-and-bound over completion suffixes: closed-form density "
+        "floors, feasibility-certified leaves and lockstep LP evaluation "
+        "replace the `n!` ordering enumeration behind "
+        "`optimal_values_batch` and `lower_bound_batch(method='exact')`.",
+        ["repro.lp.exact"],
     ),
     "batch.md": (
         "repro.batch — vectorized substrate",
