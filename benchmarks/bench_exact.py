@@ -39,7 +39,7 @@ from repro.batch.kernels import combined_lower_bound_batch
 from repro.core.batch import InstanceBatch
 from repro.core.bounds import combined_lower_bound
 from repro.exec import ExecutionContext
-from repro.lp.batch import optimal_values_batch
+from repro.lp.batch import optimal
 from repro.workloads.generators import cluster_instances
 
 
@@ -50,19 +50,19 @@ def cluster_batch_8x6():
 
 @pytest.mark.benchmark(group="exact-opt")
 def test_branch_and_bound_8x6(benchmark, cluster_batch_8x6):
-    result = benchmark(optimal_values_batch, cluster_batch_8x6)
+    result = benchmark(optimal, cluster_batch_8x6)
     assert result.objectives.shape == (8,)
 
 
 @pytest.mark.benchmark(group="exact-opt")
 def test_enumeration_8x6(benchmark, cluster_batch_8x6):
-    result = benchmark(lambda: optimal_values_batch(cluster_batch_8x6, method="enumerate"))
+    result = benchmark(lambda: optimal(cluster_batch_8x6, method="enumerate"))
     assert result.orderings_evaluated == 8 * math.factorial(6)
 
 
 def test_engine_matches_enumeration(cluster_batch_8x6):
-    engine = optimal_values_batch(cluster_batch_8x6)
-    reference = optimal_values_batch(cluster_batch_8x6, method="enumerate")
+    engine = optimal(cluster_batch_8x6)
+    reference = optimal(cluster_batch_8x6, method="enumerate")
     np.testing.assert_allclose(engine.objectives, reference.objectives, rtol=1e-6, atol=1e-8)
 
 
@@ -94,19 +94,19 @@ def run_exact_benchmark(
     batch = InstanceBatch.from_instances(
         list(cluster_instances(task_count, batch_size, rng=np.random.default_rng(seed)))
     )
-    engine_seconds = best_of(lambda: optimal_values_batch(batch), 1)
-    engine_result = optimal_values_batch(batch)
+    engine_seconds = best_of(lambda: optimal(batch), 1)
+    engine_result = optimal(batch)
 
     single = InstanceBatch.from_instances(
         list(cluster_instances(single_n, 1, rng=np.random.default_rng(seed + 1)))
     )
-    single_seconds = best_of(lambda: optimal_values_batch(single), 1)
+    single_seconds = best_of(lambda: optimal(single), 1)
 
     enum_batch = InstanceBatch.from_instances(
         list(cluster_instances(enum_n, 2, rng=np.random.default_rng(seed + 2)))
     )
     enum_seconds = best_of(
-        lambda: optimal_values_batch(enum_batch, method="enumerate", max_tasks=enum_n), 1
+        lambda: optimal(enum_batch, method="enumerate", max_tasks=enum_n), 1
     )
     enum_lps = 2 * math.factorial(enum_n)
     per_lp = enum_seconds / enum_lps

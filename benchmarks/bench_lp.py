@@ -23,9 +23,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.batch.kernels import lower_bound_batch
 from repro.core.batch import InstanceBatch
-from repro.lp.batch import optimal_values_batch, smith_orders_batch, solve_ordered_relaxation_batch
+from repro.lp.batch import optimal, smith_orders_batch, solve_ordered_relaxation_batch
 from repro.lp.interface import solve_ordered_relaxation
 from repro.workloads.generators import uniform_instances
 
@@ -52,10 +51,10 @@ def test_solve_ordered_relaxation_batch_64x5(benchmark, lp_batch_64x5):
 
 
 @pytest.mark.benchmark(group="batch-kernels")
-def test_optimal_values_batch_8x4(benchmark):
+def test_optimal_8x4(benchmark):
     instances = list(uniform_instances(4, 8, rng=np.random.default_rng(14)))
     batch = InstanceBatch.from_instances(instances)
-    result = benchmark(optimal_values_batch, batch)
+    result = benchmark(optimal, batch)
     assert result.orderings_evaluated == 8 * 24
 
 
@@ -113,13 +112,13 @@ def run_lp_benchmark(
             / np.maximum(1.0, np.abs(scalar_objectives))
         )
     )
-    # A light exact-lower-bound sweep keeps the ordering-enumeration path
-    # (optimal_values_batch and its chunking) under the regression gate.
+    # A light exact-OPT sweep keeps the branch-and-bound path
+    # (repro.lp.optimal and its chunking) under the regression gate.
     enum_instances = instances[: max(4, batch_size // 32)]
     enum_batch = InstanceBatch.from_instances(
         list(uniform_instances(4, len(enum_instances), rng=np.random.default_rng(seed + 1)))
     )
-    enum_seconds = best_of(lambda: lower_bound_batch(enum_batch, method="exact"), 1)
+    enum_seconds = best_of(lambda: optimal(enum_batch).objectives, 1)
     tag = f"B{batch_size}_n{task_count}"
     benchmarks = {
         f"lp_scipy_serial_{tag}": serial_seconds,

@@ -34,6 +34,26 @@ Public API highlights
     sharding and result caching.
 ``repro.experiments``
     One module per table / figure / experiment of the paper.
+``repro.api``
+    The stable facade: the typed request/response messages shared by the
+    online scheduling service's wire protocol, its client/load generator,
+    and in-process callers.
+``repro.service``
+    The online scheduling service — ``malleable-repro serve`` — driving the
+    batched simulator incrementally over a live task population.
+
+Blessed entry points
+--------------------
+The top-level package re-exports the blessed callables so ``import repro``
+is the only import most users need: :class:`~repro.exec.ExecutionContext`,
+:func:`~repro.simulation.engine.simulate`,
+:func:`~repro.batch.sim_kernels.simulate_batch`,
+:func:`~repro.batch.kernels.lower_bound_batch`,
+:func:`~repro.lp.batch.optimal`,
+:func:`~repro.experiments.registry.run_experiment`,
+:class:`~repro.scenarios.SweepRunner` and
+:class:`~repro.service.SchedulerService`.  They resolve lazily (PEP 562),
+so ``import repro`` stays cheap and free of circular imports.
 
 Quickstart
 ----------
@@ -64,6 +84,20 @@ from repro.core.objectives import (
     weighted_completion_time,
 )
 
+#: Lazily resolved facade exports: attribute name -> defining module.  Kept
+#: lazy (PEP 562) so ``import repro`` neither pays for SciPy/asyncio imports
+#: nor creates cycles (repro.exec and friends import from repro.core).
+_FACADE_EXPORTS = {
+    "ExecutionContext": "repro.exec",
+    "simulate": "repro.simulation.engine",
+    "simulate_batch": "repro.batch.sim_kernels",
+    "lower_bound_batch": "repro.batch.kernels",
+    "optimal": "repro.lp.batch",
+    "run_experiment": "repro.experiments.registry",
+    "SweepRunner": "repro.scenarios",
+    "SchedulerService": "repro.service",
+}
+
 __all__ = [
     "Instance",
     "Task",
@@ -77,7 +111,24 @@ __all__ = [
     "weighted_completion_time",
     "makespan",
     "max_lateness",
+    *sorted(_FACADE_EXPORTS),
     "__version__",
 ]
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Resolve a facade export on first access (PEP 562)."""
+    module_name = _FACADE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_FACADE_EXPORTS))

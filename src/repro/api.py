@@ -1,0 +1,352 @@
+"""The stable public facade: typed messages shared by every entry point.
+
+This module is the *single schema* of the project's request/response
+surface.  The same frozen dataclasses are
+
+* serialised onto the wire by the online scheduling service
+  (:mod:`repro.service.protocol` frames them as newline-delimited JSON),
+* sent by the service client and the synthetic load generator
+  (:mod:`repro.service.client`, :mod:`repro.service.loadgen`), and
+* handed directly to :meth:`repro.service.server.SchedulerService.handle`
+  by in-process callers — no sockets required.
+
+Every message is a plain frozen dataclass of JSON-representable fields; the
+``type`` tag used on the wire is the registry key in :data:`MESSAGE_TYPES`.
+:func:`encode_message` / :func:`decode_message` convert between dataclasses
+and tagged dicts, raising :class:`ProtocolError` (never a bare
+``TypeError``) on malformed payloads so servers can answer with a structured
+:class:`ErrorReply` instead of dropping the connection.
+
+The blessed *callable* entry points of the library — ``ExecutionContext``,
+``simulate``, ``simulate_batch``, ``lower_bound_batch``, ``optimal``,
+``run_experiment``, ``SweepRunner``, ``SchedulerService`` — are re-exported
+lazily from the top-level :mod:`repro` package; see ``repro/__init__.py``.
+
+Examples
+--------
+>>> from repro.api import SubmitTask, decode_message, encode_message
+>>> payload = encode_message(SubmitTask(volume=4.0, weight=2.0, delta=2.0))
+>>> payload["type"]
+'submit_task'
+>>> decode_message(payload)
+SubmitTask(volume=4.0, weight=2.0, delta=2.0, task_id=None, client='', now=None)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+__all__ = [
+    "ProtocolError",
+    "SubmitTask",
+    "CancelTask",
+    "QueryShare",
+    "QueryState",
+    "MetricsRequest",
+    "HealthRequest",
+    "SimulateRequest",
+    "SubmitReply",
+    "CancelReply",
+    "ShareReply",
+    "StateReply",
+    "MetricsReply",
+    "HealthReply",
+    "SimulateReply",
+    "ErrorReply",
+    "MESSAGE_TYPES",
+    "REQUEST_TYPES",
+    "REPLY_TYPES",
+    "message_type",
+    "encode_message",
+    "decode_message",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed or unknown message reached an encode/decode boundary."""
+
+
+# --------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SubmitTask:
+    """Submit one malleable task to the live system.
+
+    ``volume`` is the total work, ``weight`` the priority in the
+    ``sum w_i C_i`` objective, ``delta`` the cap on simultaneous processors
+    (clamped to the platform size by the server).  ``task_id`` is optional —
+    the server assigns ``t<N>`` when omitted.  ``now`` is the event's
+    virtual time; servers running a wall clock ignore it.
+    """
+
+    volume: float
+    weight: float = 1.0
+    delta: float = 1.0
+    task_id: "str | None" = None
+    client: str = ""
+    now: "float | None" = None
+
+
+@dataclass(frozen=True)
+class CancelTask:
+    """Cancel a previously submitted task (a no-op once it completed)."""
+
+    task_id: str
+    client: str = ""
+    now: "float | None" = None
+
+
+@dataclass(frozen=True)
+class QueryShare:
+    """Ask what processor share a task receives right now.
+
+    With ``project=True`` the reply also carries the *projected* completion
+    time: the server clones the live state and runs it to completion under
+    the current policy — a what-if simulation that leaves the live system
+    untouched.
+    """
+
+    task_id: str
+    project: bool = False
+    client: str = ""
+    now: "float | None" = None
+
+
+@dataclass(frozen=True)
+class QueryState:
+    """Ask for the aggregate counters of the live system."""
+
+    now: "float | None" = None
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Ask for the full metrics snapshot (also served as HTTP ``/metrics``)."""
+
+
+@dataclass(frozen=True)
+class HealthRequest:
+    """Liveness/readiness probe (also served as HTTP ``/health``)."""
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One-shot offline simulation of a complete instance.
+
+    The request-level mirror of :func:`repro.batch.sim_kernels.simulate_batch`
+    for a single instance: ``volumes`` / ``weights`` / ``deltas`` describe
+    the tasks, ``policy`` names a batched policy (``wdeq``, ``deq``,
+    ``fair-share``), and ``release_times`` optionally staggers the arrivals.
+    """
+
+    P: float
+    volumes: "tuple[float, ...]"
+    weights: "tuple[float, ...]"
+    deltas: "tuple[float, ...]"
+    policy: str = "wdeq"
+    release_times: "tuple[float, ...] | None" = None
+
+
+# --------------------------------------------------------------------- #
+# Replies
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SubmitReply:
+    """Acknowledges an accepted submission (rejections are ErrorReply)."""
+
+    task_id: str
+    now: float
+    share: float
+    live_tasks: int
+
+
+@dataclass(frozen=True)
+class CancelReply:
+    """Outcome of a cancellation; ``cancelled`` is False when already done."""
+
+    task_id: str
+    cancelled: bool
+    now: float
+    status: str = ""
+
+
+@dataclass(frozen=True)
+class ShareReply:
+    """Current share (and optionally projected completion) of one task."""
+
+    task_id: str
+    status: str
+    share: float
+    remaining: float
+    now: float
+    completion_time: "float | None" = None
+    projected_completion: "float | None" = None
+
+
+@dataclass(frozen=True)
+class StateReply:
+    """Aggregate counters of the live system."""
+
+    now: float
+    live_tasks: int
+    submitted: int
+    completed: int
+    cancelled: int
+    rejected: int
+
+
+@dataclass(frozen=True)
+class MetricsReply:
+    """The metrics snapshot as one nested JSON-representable mapping."""
+
+    metrics: "Mapping[str, Any]"
+
+
+@dataclass(frozen=True)
+class HealthReply:
+    """Service liveness: ``status`` is ``ok`` or ``draining``."""
+
+    status: str
+    now: float
+    live_tasks: int
+    draining: bool
+
+
+@dataclass(frozen=True)
+class SimulateReply:
+    """Result of a one-shot :class:`SimulateRequest`."""
+
+    completion_times: "tuple[float, ...]"
+    weighted_completion_time: float
+    makespan: float
+    num_events: int
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Structured failure; ``code`` is machine-readable.
+
+    Codes used by the service: ``protocol`` (malformed message),
+    ``rate_limited`` (per-client token bucket empty), ``admission_rejected``
+    (live-task ceiling reached), ``draining`` (server shutting down),
+    ``unknown_task``, ``duplicate_task``, ``invalid`` (bad field values)
+    and ``internal``.
+    """
+
+    code: str
+    message: str
+
+
+# --------------------------------------------------------------------- #
+# Wire registry
+# --------------------------------------------------------------------- #
+
+#: Wire tag ↔ dataclass, for every message in the protocol.
+MESSAGE_TYPES: "dict[str, type]" = {
+    "submit_task": SubmitTask,
+    "cancel_task": CancelTask,
+    "query_share": QueryShare,
+    "query_state": QueryState,
+    "metrics": MetricsRequest,
+    "health": HealthRequest,
+    "simulate": SimulateRequest,
+    "submit_reply": SubmitReply,
+    "cancel_reply": CancelReply,
+    "share_reply": ShareReply,
+    "state_reply": StateReply,
+    "metrics_reply": MetricsReply,
+    "health_reply": HealthReply,
+    "simulate_reply": SimulateReply,
+    "error": ErrorReply,
+}
+
+#: The client→server half of the protocol.
+REQUEST_TYPES = (
+    SubmitTask,
+    CancelTask,
+    QueryShare,
+    QueryState,
+    MetricsRequest,
+    HealthRequest,
+    SimulateRequest,
+)
+
+#: The server→client half of the protocol.
+REPLY_TYPES = (
+    SubmitReply,
+    CancelReply,
+    ShareReply,
+    StateReply,
+    MetricsReply,
+    HealthReply,
+    SimulateReply,
+    ErrorReply,
+)
+
+_TAG_BY_TYPE = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
+
+
+def message_type(message: object) -> str:
+    """The wire tag of a message instance (raises ProtocolError if foreign)."""
+    try:
+        return _TAG_BY_TYPE[type(message)]
+    except KeyError:
+        raise ProtocolError(
+            f"{type(message).__name__} is not a repro.api message type"
+        ) from None
+
+
+def encode_message(message: object) -> "dict[str, Any]":
+    """Flatten a message dataclass into a ``{'type': tag, ...fields}`` dict.
+
+    Tuples are emitted as-is (JSON serialises them as arrays); ``None``
+    optionals are included so the payload is self-describing.
+    """
+    tag = message_type(message)
+    payload: "dict[str, Any]" = {"type": tag}
+    for f in fields(message):  # type: ignore[arg-type]
+        value = getattr(message, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[f.name] = value
+    return payload
+
+
+#: Fields that decode back to tuples (dataclass equality + hashability).
+_TUPLE_FIELDS = {"volumes", "weights", "deltas", "release_times", "completion_times"}
+
+
+def decode_message(payload: "Mapping[str, Any]") -> object:
+    """Rebuild the message dataclass a tagged payload describes.
+
+    Raises :class:`ProtocolError` on a missing/unknown ``type`` tag, an
+    unexpected field, or a missing required field — never a bare
+    ``TypeError`` — so transport layers can turn any client mistake into a
+    structured :class:`ErrorReply`.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"expected a mapping, got {type(payload).__name__}")
+    tag = payload.get("type")
+    if not isinstance(tag, str) or tag not in MESSAGE_TYPES:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    cls = MESSAGE_TYPES[tag]
+    known = {f.name for f in fields(cls)}
+    kwargs: "dict[str, Any]" = {}
+    for name, value in payload.items():
+        if name == "type":
+            continue
+        if name not in known:
+            raise ProtocolError(f"unexpected field {name!r} for message {tag!r}")
+        if name in _TUPLE_FIELDS and isinstance(value, (list, tuple)):
+            value = tuple(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"invalid {tag!r} message: {exc}") from None

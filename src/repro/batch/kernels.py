@@ -379,34 +379,38 @@ def lower_bound_batch(
         The closed-form Lemma 1 bound of
         :func:`combined_lower_bound_batch` — cheap, valid at any size, and
         what the empirical-ratio experiments use as the denominator.
-    ``"exact"``
-        The exact optimum ``OPT(I)`` per row, from
-        :func:`repro.lp.batch.optimal_values_batch`: by default the
-        subset-memoized branch-and-bound of :mod:`repro.lp.exact` (practical
-        up to ``n ~ 14`` tasks per row), or the exhaustive
-        ordering enumeration with ``exact_method="enumerate"``.  Exponential
-        in the per-row task count and therefore guarded by
-        ``max_exact_tasks`` (defaulting per method — 14 for branch-and-bound,
-        7 for enumeration); ``backend`` / ``ctx`` are forwarded to the
-        batched LP layer, so a vectorized context evaluates prefixes in
-        lockstep chunks while a process-pool context shards scalar solves
-        over its workers.
+    ``"exact"`` (deprecated alias)
+        The exact optimum ``OPT(I)`` per row.  This spelling is deprecated:
+        exact optima now have one entry point, :func:`repro.lp.optimal`,
+        with ``method="branch-and-bound"`` / ``"enumerate"`` as the
+        vocabulary — call ``repro.lp.optimal(batch, ...).objectives``
+        instead.  The alias forwards there (``exact_method`` maps to
+        ``method``, ``max_exact_tasks`` to ``max_tasks``) and will be
+        removed after one release.
 
-    The exact method dominates the combined bound (it *is* the optimum), so
-    ``lower_bound_batch(batch, "exact") >= lower_bound_batch(batch)`` up to
-    tolerance — asserted by the differential tests.
+    The exact optimum dominates the combined bound, so
+    ``repro.lp.optimal(batch).objectives >= lower_bound_batch(batch)`` up
+    to tolerance — asserted by the differential tests.
     """
     if method == "combined":
         return combined_lower_bound_batch(batch, num_fractions=num_fractions)
     if method == "exact":
-        from repro.lp.batch import optimal_values_batch
+        import warnings
 
-        return optimal_values_batch(
+        from repro.lp.batch import optimal
+
+        warnings.warn(
+            "lower_bound_batch(method='exact') is deprecated: call "
+            "repro.lp.optimal(batch, method=...).objectives instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return optimal(
             batch,
+            method=exact_method,
             backend=backend,  # type: ignore[arg-type]
             ctx=ctx,  # type: ignore[arg-type]
             max_tasks=max_exact_tasks,
-            method=exact_method,
         ).objectives
     raise InvalidInstanceError(
         f"unknown lower-bound method {method!r}; expected 'combined' or 'exact'"

@@ -62,7 +62,10 @@ __all__ = [
     "DeqBatchPolicy",
     "FairShareNoCapBatchPolicy",
     "PriorityBatchPolicy",
+    "BatchSimulationState",
     "BatchSimulationResult",
+    "init_simulation_state",
+    "advance_simulation_state",
     "simulate_batch",
     "default_batch_policies",
     "policy_ratios_batch",
@@ -245,6 +248,277 @@ class BatchSimulationResult:
         return np.where(self.batch.mask, self.completion_times, 0.0).max(axis=1, initial=0.0)
 
 
+@dataclass
+class BatchSimulationState:
+    """The full resumable state of a lockstep batched simulation.
+
+    :func:`simulate_batch` used to be one monolithic loop; the loop body now
+    lives in :func:`advance_simulation_state`, which mutates one of these
+    state objects and can *pause at a time horizon* — this is what lets the
+    online scheduling service (:mod:`repro.service`) drive the simulator
+    incrementally, advancing from the current virtual time on every
+    submit/cancel/query instead of replaying from ``t = 0``.
+
+    All arrays follow the padded-batch convention of
+    :class:`~repro.core.batch.InstanceBatch`.  The state is *mutable by
+    design*: :mod:`repro.service.state` grows the task axis in place as new
+    tasks are submitted, and :meth:`clone` provides the deep copy used for
+    what-if projections ("when will my task finish?") that must not disturb
+    the live state.
+
+    Invariant: pausing and resuming never changes the trajectory.  Between
+    events the allocation is constant, and every built-in policy is
+    *memoryless* (its decision depends only on the active set, weights and
+    caps), so recomputing the allocation after a pause reproduces the same
+    rates — the differential tests in ``tests/test_sim_batch.py`` pin
+    completion times (and, for pauses aligned with event boundaries, the
+    full event trace) against the one-shot run.
+    """
+
+    batch: InstanceBatch
+    releases: np.ndarray
+    atol: float
+    t: np.ndarray
+    remaining: np.ndarray
+    work_done: np.ndarray
+    completed: np.ndarray
+    released: np.ndarray
+    completion_times: np.ndarray
+    num_events: np.ndarray
+    finish_tol: np.ndarray
+    traces: list[SimulationTrace] | None = None
+
+    def done_rows(self) -> np.ndarray:
+        """Boolean ``(B,)``: rows whose every real task has completed."""
+        return (self.completed | ~self.batch.mask).all(axis=1)
+
+    def all_done(self) -> bool:
+        """True when no row has outstanding work."""
+        return bool(self.done_rows().all())
+
+    def clone(self) -> "BatchSimulationState":
+        """Deep copy (the batch itself is shared — kernels never mutate it)."""
+        return BatchSimulationState(
+            batch=self.batch,
+            releases=self.releases.copy(),
+            atol=self.atol,
+            t=self.t.copy(),
+            remaining=self.remaining.copy(),
+            work_done=self.work_done.copy(),
+            completed=self.completed.copy(),
+            released=self.released.copy(),
+            completion_times=self.completion_times.copy(),
+            num_events=self.num_events.copy(),
+            finish_tol=self.finish_tol.copy(),
+            traces=None,
+        )
+
+    def result(self, policy_name: str) -> BatchSimulationResult:
+        """Package the current state as a :class:`BatchSimulationResult`."""
+        return BatchSimulationResult(
+            batch=self.batch,
+            policy_name=policy_name,
+            completion_times=self.completion_times,
+            num_events=self.num_events,
+            traces=self.traces,
+        )
+
+
+def init_simulation_state(
+    batch: InstanceBatch,
+    release_times: np.ndarray | None = None,
+    atol: float = 1e-10,
+    record_trace: bool = False,
+) -> BatchSimulationState:
+    """Build the ``t = 0`` state for :func:`advance_simulation_state`.
+
+    Validates the release times exactly as :func:`simulate_batch` always
+    did and records the time-zero release events when tracing.
+    """
+    volumes, mask = batch.volumes, batch.mask
+    B, N = volumes.shape
+    if release_times is None:
+        releases = np.zeros((B, N))
+    else:
+        releases = np.asarray(release_times, dtype=float)
+        if releases.shape != (B, N):
+            raise SimulationError(
+                f"expected release times of shape {(B, N)}, got {releases.shape}"
+            )
+        if np.any(mask & (releases < 0)):
+            raise SimulationError("release times must be non-negative")
+        releases = np.where(mask, releases, 0.0)
+
+    released = ~mask | (releases <= atol)
+    traces: list[SimulationTrace] | None = None
+    if record_trace:
+        traces = [SimulationTrace() for _ in range(B)]
+        for b, i in zip(*np.nonzero(mask & released)):
+            traces[b].record_release(ReleaseEvent(time=0.0, task=int(i)))
+    return BatchSimulationState(
+        batch=batch,
+        releases=releases,
+        atol=atol,
+        t=np.zeros(B),
+        remaining=np.where(mask, volumes, 0.0),
+        work_done=np.zeros((B, N)),
+        completed=~mask,  # padding slots never participate
+        released=released,
+        completion_times=np.zeros((B, N)),
+        num_events=np.zeros(B, dtype=int),
+        finish_tol=atol * np.maximum(1.0, volumes),
+        traces=traces,
+    )
+
+
+def advance_simulation_state(
+    state: BatchSimulationState,
+    policy: BatchPolicy,
+    until: "np.ndarray | float | None" = None,
+    max_events: int | None = None,
+) -> BatchSimulationState:
+    """Advance every live row of ``state`` under ``policy``, in place.
+
+    Parameters
+    ----------
+    state:
+        The state to advance (mutated and returned).
+    policy:
+        The batched non-clairvoyant policy deciding the shares.
+    until:
+        Optional time horizon — a scalar or ``(B,)`` array.  Rows advance
+        through their events until completion *or* until their clock reaches
+        the horizon, whichever comes first; a later call resumes from
+        exactly where this one paused.  ``None`` (the default) runs every
+        row to completion, which is the one-shot :func:`simulate_batch`
+        behaviour.
+    max_events:
+        Safety bound on the number of lockstep iterations *of this call*
+        (each iteration is one event of every live row); default
+        ``8 n_max + 16``, the scalar per-instance bound.
+
+    Raises
+    ------
+    SimulationError
+        If the policy over-subscribes a row, returns a negative rate, stalls
+        (an active task set makes no progress with no release pending and no
+        finite horizon to pause at), or the event bound is hit.
+    """
+    batch = state.batch
+    volumes, weights, deltas, mask = batch.volumes, batch.weights, batch.deltas, batch.mask
+    B, N = volumes.shape
+    atol = state.atol
+    releases = state.releases
+    remaining = state.remaining
+    work_done = state.work_done
+    completed = state.completed
+    released = state.released
+    completion_times = state.completion_times
+    finish_tol = state.finish_tol
+    t = state.t
+    traces = state.traces
+    record_trace = traces is not None
+    if max_events is None:
+        max_events = 8 * N + 16
+    if until is None:
+        horizon = np.full(B, np.inf)
+    else:
+        horizon = np.broadcast_to(np.asarray(until, dtype=float), (B,))
+
+    iterations = 0
+    while True:
+        live = ~(completed | ~mask).all(axis=1) & (t < horizon)
+        if not live.any():
+            break
+        iterations += 1
+        if iterations > max_events:
+            raise SimulationError(
+                f"batched simulation exceeded {max_events} events per row; "
+                "the policy is likely stalling"
+            )
+        active = released & ~completed & mask & live[:, None]
+        has_active = active.any(axis=1)
+        pending = mask & ~released
+        next_release = np.where(pending, releases, np.inf).min(axis=1)
+
+        raw = policy.allocate(batch.P, weights, deltas, work_done, t[:, None] - releases, active)
+        if np.any(active & (raw < -atol)):
+            b = int(np.nonzero((active & (raw < -atol)).any(axis=1))[0][0])
+            raise SimulationError(
+                f"policy {policy.name!r} returned a negative rate in batch row {b}"
+            )
+        rates = np.where(active, np.clip(raw, 0.0, deltas), 0.0)
+        totals = rates.sum(axis=1)
+        over = totals > batch.P * (1 + 1e-9) + atol
+        if over.any():
+            b = int(np.nonzero(over)[0][0])
+            raise SimulationError(
+                f"policy {policy.name!r} over-subscribed the platform in batch "
+                f"row {b}: {totals[b]} > P={batch.P[b]}"
+            )
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            finish_in = np.where(
+                active & (rates > atol), remaining / np.maximum(rates, atol), np.inf
+            )
+        dt_completion = finish_in.min(axis=1)
+        dt_release = np.where(np.isfinite(next_release), next_release - t, np.inf)
+        dt_horizon = np.where(np.isfinite(horizon), horizon - t, np.inf)
+        dt = np.minimum(dt_completion, dt_release)
+        stalled = live & has_active & ~np.isfinite(np.minimum(dt, dt_horizon))
+        if stalled.any():
+            b = int(np.nonzero(stalled)[0][0])
+            raise SimulationError(
+                f"policy {policy.name!r} stalled in batch row {b}: "
+                "no active task receives processors"
+            )
+        dt = np.minimum(dt, dt_horizon)
+        dt = np.where(live, np.maximum(dt, 0.0), 0.0)
+
+        if record_trace and traces is not None:
+            advancing = live & has_active
+            for b in np.nonzero(advancing)[0]:
+                alloc = {int(i): float(rates[b, i]) for i in np.nonzero(active[b])[0]}
+                traces[int(b)].record_reshare(ReshareEvent(time=float(t[b]), allocation=alloc))
+
+        state.num_events += live.astype(int)
+        t += dt
+        progressed = rates * dt[:, None]
+        work_done += progressed
+        np.maximum(remaining - progressed, 0.0, out=remaining)
+
+        finished = active & (remaining <= finish_tol)
+        # Numerical corner case (as in the scalar engine): when a completion
+        # was due before the next release (and before the horizon) but no
+        # task crossed the tolerance, force the task closest to completion
+        # out of the active set.
+        none_done = (
+            live
+            & has_active
+            & ~finished.any(axis=1)
+            & (dt_completion <= dt_release)
+            & (dt_completion <= dt_horizon)
+        )
+        if none_done.any():
+            winner = np.where(active, finish_in, np.inf).argmin(axis=1)
+            forced = np.nonzero(none_done)[0]
+            finished[forced, winner[forced]] = True
+            remaining[forced, winner[forced]] = 0.0
+        completion_times[finished] = np.broadcast_to(t[:, None], (B, N))[finished]
+        completed |= finished
+
+        newly_released = pending & (releases <= t[:, None] + atol)
+        released |= newly_released
+
+        if record_trace and traces is not None:
+            for b, i in zip(*np.nonzero(finished)):
+                traces[b].record_completion(CompletionEvent(time=float(t[b]), task=int(i)))
+            for b, i in zip(*np.nonzero(newly_released)):
+                traces[b].record_release(ReleaseEvent(time=float(releases[b, i]), task=int(i)))
+
+    return state
+
+
 def simulate_batch(
     batch: InstanceBatch,
     policy: BatchPolicy,
@@ -254,6 +528,10 @@ def simulate_batch(
     record_trace: bool = False,
 ) -> BatchSimulationResult:
     """Run an online policy on every instance of the batch in lockstep.
+
+    A thin wrapper over :func:`init_simulation_state` +
+    :func:`advance_simulation_state` with no time horizon — the historical
+    one-shot entry point, semantics unchanged.
 
     Parameters
     ----------
@@ -284,126 +562,11 @@ def simulate_batch(
         (an active task set makes no progress with no release pending), or
         the event bound is hit.
     """
-    volumes, weights, deltas, mask = batch.volumes, batch.weights, batch.deltas, batch.mask
-    B, N = volumes.shape
-    if release_times is None:
-        releases = np.zeros((B, N))
-    else:
-        releases = np.asarray(release_times, dtype=float)
-        if releases.shape != (B, N):
-            raise SimulationError(
-                f"expected release times of shape {(B, N)}, got {releases.shape}"
-            )
-        if np.any(mask & (releases < 0)):
-            raise SimulationError("release times must be non-negative")
-        releases = np.where(mask, releases, 0.0)
-    if max_events is None:
-        max_events = 8 * N + 16
-
-    remaining = np.where(mask, volumes, 0.0)
-    work_done = np.zeros((B, N))
-    completed = ~mask  # padding slots never participate
-    completion_times = np.zeros((B, N))
-    released = ~mask | (releases <= atol)
-    t = np.zeros(B)
-    num_events = np.zeros(B, dtype=int)
-    finish_tol = atol * np.maximum(1.0, volumes)
-
-    traces: list[SimulationTrace] | None = None
-    if record_trace:
-        traces = [SimulationTrace() for _ in range(B)]
-        for b, i in zip(*np.nonzero(mask & released)):
-            traces[b].record_release(ReleaseEvent(time=0.0, task=int(i)))
-
-    iterations = 0
-    while True:
-        live = ~(completed | ~mask).all(axis=1)
-        if not live.any():
-            break
-        iterations += 1
-        if iterations > max_events:
-            raise SimulationError(
-                f"batched simulation exceeded {max_events} events per row; "
-                "the policy is likely stalling"
-            )
-        active = released & ~completed & mask
-        has_active = active.any(axis=1)
-        pending = mask & ~released
-        next_release = np.where(pending, releases, np.inf).min(axis=1)
-
-        raw = policy.allocate(batch.P, weights, deltas, work_done, t[:, None] - releases, active)
-        if np.any(active & (raw < -atol)):
-            b = int(np.nonzero((active & (raw < -atol)).any(axis=1))[0][0])
-            raise SimulationError(
-                f"policy {policy.name!r} returned a negative rate in batch row {b}"
-            )
-        rates = np.where(active, np.clip(raw, 0.0, deltas), 0.0)
-        totals = rates.sum(axis=1)
-        over = totals > batch.P * (1 + 1e-9) + atol
-        if over.any():
-            b = int(np.nonzero(over)[0][0])
-            raise SimulationError(
-                f"policy {policy.name!r} over-subscribed the platform in batch "
-                f"row {b}: {totals[b]} > P={batch.P[b]}"
-            )
-
-        with np.errstate(divide="ignore", invalid="ignore"):
-            finish_in = np.where(
-                active & (rates > atol), remaining / np.maximum(rates, atol), np.inf
-            )
-        dt_completion = finish_in.min(axis=1)
-        dt_release = np.where(np.isfinite(next_release), next_release - t, np.inf)
-        dt = np.minimum(dt_completion, dt_release)
-        stalled = live & has_active & ~np.isfinite(dt)
-        if stalled.any():
-            b = int(np.nonzero(stalled)[0][0])
-            raise SimulationError(
-                f"policy {policy.name!r} stalled in batch row {b}: "
-                "no active task receives processors"
-            )
-        dt = np.where(live, np.maximum(dt, 0.0), 0.0)
-
-        if record_trace and traces is not None:
-            advancing = live & has_active
-            for b in np.nonzero(advancing)[0]:
-                alloc = {int(i): float(rates[b, i]) for i in np.nonzero(active[b])[0]}
-                traces[int(b)].record_reshare(ReshareEvent(time=float(t[b]), allocation=alloc))
-
-        num_events += live.astype(int)
-        t += dt
-        progressed = rates * dt[:, None]
-        work_done += progressed
-        remaining = np.maximum(remaining - progressed, 0.0)
-
-        finished = active & (remaining <= finish_tol)
-        # Numerical corner case (as in the scalar engine): when a completion
-        # was due before the next release but no task crossed the tolerance,
-        # force the task closest to completion out of the active set.
-        none_done = live & has_active & ~finished.any(axis=1) & (dt_completion <= dt_release)
-        if none_done.any():
-            winner = np.where(active, finish_in, np.inf).argmin(axis=1)
-            forced = np.nonzero(none_done)[0]
-            finished[forced, winner[forced]] = True
-            remaining[forced, winner[forced]] = 0.0
-        completion_times[finished] = np.broadcast_to(t[:, None], (B, N))[finished]
-        completed |= finished
-
-        newly_released = pending & (releases <= t[:, None] + atol)
-        released |= newly_released
-
-        if record_trace and traces is not None:
-            for b, i in zip(*np.nonzero(finished)):
-                traces[b].record_completion(CompletionEvent(time=float(t[b]), task=int(i)))
-            for b, i in zip(*np.nonzero(newly_released)):
-                traces[b].record_release(ReleaseEvent(time=float(releases[b, i]), task=int(i)))
-
-    return BatchSimulationResult(
-        batch=batch,
-        policy_name=policy.name,
-        completion_times=completion_times,
-        num_events=num_events,
-        traces=traces,
+    state = init_simulation_state(
+        batch, release_times=release_times, atol=atol, record_trace=record_trace
     )
+    advance_simulation_state(state, policy, until=None, max_events=max_events)
+    return state.result(policy.name)
 
 
 # --------------------------------------------------------------------- #

@@ -35,6 +35,14 @@ Find the hot paths of an experiment or sweep before optimising it::
     malleable-repro profile E7 --batch --top 30
     malleable-repro profile e7-solver-scaling --sort tottime
 
+Serve the online scheduler (newline-delimited JSON over TCP, with
+``/metrics`` and ``/health`` HTTP endpoints on the same port), and replay a
+synthetic open-loop workload against it::
+
+    malleable-repro serve --port 7461 -P 16 --policy wdeq
+    malleable-repro loadgen --port 7461 --clients 50 --tasks 40
+    malleable-repro loadgen --spawn-server --clients 200 --min-rps 1000
+
 Every execution flag maps onto one :class:`repro.exec.ExecutionContext`
 that is handed to every experiment and sweep — the CLI contains no
 per-experiment execution wiring.
@@ -145,7 +153,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump the raw cProfile stats to PATH (for snakeviz etc.)",
     )
     _add_execution_arguments(profile_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the online scheduling service (NDJSON over TCP + HTTP /metrics, /health)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=7461, help="TCP port (0 picks an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "-P", "--processors", type=float, default=8.0, help="processor count of the live system"
+    )
+    serve_parser.add_argument(
+        "--policy",
+        default="wdeq",
+        choices=_service_policy_names(),
+        help="allocation policy driving the incremental simulation",
+    )
+    serve_parser.add_argument(
+        "--max-live-tasks",
+        type=int,
+        default=10_000,
+        help="admission-control cap on concurrently live tasks",
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket refill rate in requests/s (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--rate-burst", type=float, default=100.0, help="per-client token-bucket burst size"
+    )
+    serve_parser.add_argument(
+        "--virtual-time",
+        action="store_true",
+        help="honour client-supplied `now` timestamps instead of the wall clock",
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds to wait for open connections on SIGTERM before stopping",
+    )
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen",
+        help="replay a synthetic open-loop workload against a running service",
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1", help="service address")
+    loadgen_parser.add_argument("--port", type=int, default=7461, help="service port")
+    loadgen_parser.add_argument(
+        "--spawn-server",
+        action="store_true",
+        help=(
+            "start an in-process service on an ephemeral port for the duration of "
+            "the run (ignores --host/--port); single-command smoke test"
+        ),
+    )
+    loadgen_parser.add_argument("--clients", type=int, default=10, help="concurrent clients")
+    loadgen_parser.add_argument(
+        "--tasks", type=int, default=20, help="task submissions per client"
+    )
+    loadgen_parser.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("none", "poisson", "bursty-poisson"),
+        help="inter-submission arrival process (repro.scenarios families)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=200.0, help="per-client arrival rate in submissions/s"
+    )
+    loadgen_parser.add_argument(
+        "--query-ratio", type=float, default=0.25, help="share queries issued per submission"
+    )
+    loadgen_parser.add_argument(
+        "--cancel-ratio", type=float, default=0.05, help="cancellations issued per submission"
+    )
+    loadgen_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen_parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the measured request throughput is below this",
+    )
+    loadgen_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print the full report as JSON instead of a table",
+    )
     return parser
+
+
+def _service_policy_names() -> tuple[str, ...]:
+    from repro.service.state import POLICY_NAMES
+
+    return POLICY_NAMES
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -291,6 +396,98 @@ def _run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the asyncio scheduling service."""
+    import asyncio
+
+    from repro.service import SchedulerService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        P=args.processors,
+        policy=args.policy,
+        max_live_tasks=args.max_live_tasks,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        virtual_time=args.virtual_time,
+        drain_grace=args.drain_grace,
+    )
+    service = SchedulerService(config)
+
+    async def _serve() -> None:
+        await service.start()
+        host, port = service.address
+        print(f"malleable-repro service listening on {host}:{port}")
+        print(f"  P={config.P} policy={config.policy} max_live_tasks={config.max_live_tasks}")
+        print("  NDJSON requests on the socket; GET /metrics and /health over HTTP")
+        await service.serve_forever(install_signals=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _run_loadgen(args: argparse.Namespace) -> int:
+    """The ``loadgen`` subcommand: replay an open-loop workload, print a report."""
+    import asyncio
+    import json
+
+    from repro.service import LoadgenConfig, SchedulerService, ServiceConfig, run_loadgen_async
+
+    async def _run():
+        service = None
+        host, port = args.host, args.port
+        if args.spawn_server:
+            service = SchedulerService(ServiceConfig(port=0))
+            await service.start()
+            host, port = service.address
+        try:
+            config = LoadgenConfig(
+                host=host,
+                port=port,
+                clients=args.clients,
+                tasks_per_client=args.tasks,
+                arrival=args.arrival,
+                rate=args.rate,
+                query_ratio=args.query_ratio,
+                cancel_ratio=args.cancel_ratio,
+                seed=args.seed,
+            )
+            return await run_loadgen_async(config)
+        finally:
+            if service is not None:
+                await service.shutdown()
+
+    report = asyncio.run(_run())
+    if args.json_output:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["requests", str(report.requests)],
+            ["replies", str(report.replies)],
+            ["submitted", str(report.submitted)],
+            ["queries", str(report.queries)],
+            ["cancels", str(report.cancels)],
+            ["errors", str(report.errors)],
+            ["protocol errors", str(report.protocol_errors)],
+            ["duration (s)", f"{report.duration:.3f}"],
+            ["requests/s", f"{report.rps:.1f}"],
+            ["latency p50 (ms)", f"{report.latency.get('p50', 0.0) * 1e3:.3f}"],
+            ["latency p99 (ms)", f"{report.latency.get('p99', 0.0) * 1e3:.3f}"],
+        ]
+        print(format_table(["metric", "value"], rows))
+    if report.protocol_errors:
+        print("ERROR: protocol errors during load generation")
+        return 1
+    if args.min_rps and report.rps < args.min_rps:
+        print(f"ERROR: throughput {report.rps:.1f} req/s is below --min-rps {args.min_rps:.1f}")
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``malleable-repro`` console script."""
     parser = build_parser()
@@ -321,6 +518,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "profile":
         return _run_profile(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen(args)
 
     if args.command == "all":
         with context_from_args(args) as ctx:

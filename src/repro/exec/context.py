@@ -38,7 +38,7 @@ otherwise.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
 import numpy as np
@@ -204,35 +204,6 @@ class ExecutionContext:
             lp_backend=lp_backend,
             shm=shm,
         )
-
-    @classmethod
-    def from_legacy_kwargs(
-        cls, base: "ExecutionContext | None", options: Mapping[str, Any]
-    ) -> "ExecutionContext":
-        """Translate the pre-context execution kwargs into a context.
-
-        Accepts the historical option names (``seed``, ``paper_scale``,
-        ``runner``, ``use_batch``, ``cache``) as used by
-        ``run_experiment("E5", use_batch=True)`` style callers, layered on
-        top of ``base`` (or a default context).  The registry uses this as
-        the migration path while the old spelling is deprecated.
-        """
-        ctx = base if base is not None else cls()
-        updates: dict[str, Any] = {}
-        if "seed" in options:
-            updates["seed"] = int(options["seed"])
-        if "paper_scale" in options:
-            updates["paper_scale"] = bool(options["paper_scale"])
-        if options.get("use_batch"):
-            updates["backend"] = "vectorized"
-        runner = options.get("runner")
-        if runner is not None:
-            updates["runner"] = runner
-            if not options.get("use_batch") and ctx.backend == "serial":
-                updates["backend"] = "process-pool"
-        if options.get("cache") is not None:
-            updates["cache"] = options["cache"]
-        return replace(ctx, **updates) if updates else ctx
 
     # ------------------------------------------------------------------ #
     # Derived views

@@ -3,9 +3,9 @@
 Experiments return an :class:`ExperimentResult` (a small table plus notes
 and a machine-readable summary) and receive their execution options as one
 :class:`repro.exec.ExecutionContext`; per-instance loops go through
-``ctx.map`` — there is no keyword-argument filtering here (the historical
-``accepted_kwargs`` signature filter lives on, deprecated, in
-:mod:`repro.experiments.registry`).
+``ctx.map`` — there is no keyword-argument filtering anywhere (the
+historical ``accepted_kwargs`` signature filter finished its deprecation
+cycle and was removed from :mod:`repro.experiments.registry`).
 """
 
 from __future__ import annotations

@@ -96,12 +96,11 @@ def _exact_engine_cross_check(
 ) -> tuple[list[list[object]], bool]:
     """Rows comparing the branch-and-bound exact OPT against enumeration.
 
-    Both paths go through :func:`repro.lp.batch.optimal_values_batch` on
-    the context's LP backend — the subset-memoized branch-and-bound of
-    :mod:`repro.lp.exact` and the exhaustive ordering enumeration must
-    agree on every instance.
+    Both paths go through :func:`repro.lp.optimal` on the context's LP
+    backend — the subset-memoized branch-and-bound of :mod:`repro.lp.exact`
+    and the exhaustive ordering enumeration must agree on every instance.
     """
-    from repro.lp.batch import optimal_values_batch
+    from repro.lp.batch import optimal
 
     rows: list[list[object]] = []
     all_match = True
@@ -112,8 +111,8 @@ def _exact_engine_cross_check(
         ]
         batch = InstanceBatch.from_instances(instances)
         backend = ctx.resolved_lp_backend()
-        engine = optimal_values_batch(batch, backend=backend, ctx=ctx)  # type: ignore[arg-type]
-        reference = optimal_values_batch(batch, backend=backend, ctx=ctx, method="enumerate")  # type: ignore[arg-type]
+        engine = optimal(batch, backend=backend, ctx=ctx)  # type: ignore[arg-type]
+        reference = optimal(batch, method="enumerate", backend=backend, ctx=ctx)  # type: ignore[arg-type]
         gap = np.abs(engine.objectives - reference.objectives) / np.maximum(1.0, reference.objectives)
         matches = int(np.sum(gap <= LP_SYMMETRY_RTOL))
         all_match = all_match and matches == len(instances)

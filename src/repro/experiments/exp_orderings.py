@@ -14,8 +14,8 @@ enumeration of the greedy values; the per-instance enumerations run through
 recurrence is additionally cross-checked against the exact Corollary 1
 optimum — every completion ordering's LP, minimised — through the context's
 LP backend: a ``vectorized`` context enumerates the orderings in lockstep
-batches (:func:`repro.lp.batch.optimal_values_batch`), the other backends
-dispatch per-instance SciPy solves.
+batches (:func:`repro.lp.optimal`), the other backends dispatch
+per-instance SciPy solves.
 """
 
 from __future__ import annotations
@@ -50,7 +50,7 @@ def _lp_cross_check(
     ctx: ExecutionContext, sizes: Sequence[int], count: int
 ) -> tuple[list[list[object]], bool]:
     """Compare the exhaustive greedy optimum with the Corollary 1 LP optimum."""
-    from repro.lp.batch import optimal_values_batch
+    from repro.lp.batch import optimal
 
     rows: list[list[object]] = []
     all_match = True
@@ -60,7 +60,7 @@ def _lp_cross_check(
         batch = InstanceBatch.from_instances(
             [homogeneous_instance(deltas) for deltas in deltas_list]
         )
-        lp_values = optimal_values_batch(
+        lp_values = optimal(
             batch, backend=ctx.resolved_lp_backend(), ctx=ctx  # type: ignore[arg-type]
         ).objectives
         matches = int(np.sum(times_close(greedy_values, lp_values, rtol=1e-6, atol=1e-9)))

@@ -5,9 +5,8 @@ experiments as a single :class:`repro.exec.ExecutionContext` passed as
 ``ctx``; there is no per-experiment execution wiring and nothing is routed
 by signature inspection.  The pre-context spelling — passing ``seed`` /
 ``paper_scale`` / ``runner`` / ``use_batch`` / ``cache`` as plain keyword
-arguments to :func:`run_experiment` — is still accepted and translated into
-a context, with a :class:`DeprecationWarning` for the backend-selection
-trio (see :func:`run_experiment`).
+arguments — completed its deprecation cycle and now raises ``TypeError``
+naming the ``ctx=`` replacement (see :func:`reject_legacy_options`).
 
 Examples
 --------
@@ -22,10 +21,8 @@ Examples
 
 from __future__ import annotations
 
-import inspect
-import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Callable, Mapping
 
 from repro.exec import ExecutionContext
 from repro.experiments import (
@@ -46,85 +43,41 @@ __all__ = [
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
-    "accepted_kwargs",
+    "reject_legacy_options",
 ]
 
 
-#: The historical execution options, now bundled by ``ExecutionContext``.
-#: ``seed`` and ``paper_scale`` remain supported sugar on
-#: :func:`run_experiment`; the backend-selection trio (``runner``,
-#: ``use_batch``, ``cache``) is deprecated in favour of an explicit context.
-SHARED_EXECUTION_OPTIONS = frozenset({"seed", "paper_scale", "runner", "use_batch", "cache"})
+#: The historical execution options, now carried by ``ExecutionContext``.
+#: Their keyword spelling warned for a deprecation cycle and is now a hard
+#: error — see :func:`reject_legacy_options`.
+_LEGACY_EXECUTION_OPTIONS = frozenset({"seed", "paper_scale", "runner", "use_batch", "cache"})
 
-#: The subset whose keyword spelling triggers a :class:`DeprecationWarning`.
-DEPRECATED_EXECUTION_OPTIONS = frozenset({"runner", "use_batch", "cache"})
+#: ctx= replacement named in the error message, per legacy keyword.
+_LEGACY_REPLACEMENTS = {
+    "seed": "ExecutionContext(seed=...)",
+    "paper_scale": "ExecutionContext(paper_scale=True)",
+    "use_batch": "ExecutionContext(backend='vectorized')",
+    "runner": "ExecutionContext(backend='process-pool', workers=N)",
+    "cache": "ExecutionContext.from_options(cache_dir=...)",
+}
 
 
-def accepted_kwargs(fn: Callable, kwargs: dict) -> dict:
-    """Drop the shared execution options ``fn``'s signature does not accept.
+def reject_legacy_options(params: Mapping[str, object]) -> None:
+    """Raise ``TypeError`` when a pre-context execution kwarg is present.
 
-    .. deprecated::
-        The experiments now receive execution options through one
-        :class:`repro.exec.ExecutionContext` parameter, so there is nothing
-        left to filter by signature.  Build a context (or pass the options to
-        :func:`run_experiment`, which builds one) instead.  This shim is kept
-        for one release so external callers migrate gracefully.
-
-    Only the options in :data:`SHARED_EXECUTION_OPTIONS` are filtered — a
-    misspelled experiment parameter is passed through and raises
-    ``TypeError`` as before.  Functions taking ``**kwargs`` also have the
-    *undeclared* execution options dropped: historically they received (and
-    silently swallowed) every option, which hid wiring mistakes — an
-    execution option now only reaches a function that names it explicitly.
+    The ``seed`` / ``paper_scale`` / ``runner`` / ``use_batch`` / ``cache``
+    keywords were translated into an :class:`~repro.exec.ExecutionContext`
+    (with a :class:`DeprecationWarning` since the context landed); the
+    translation shim is gone, and the error names the exact ``ctx=``
+    spelling that replaces each option.
     """
-    warnings.warn(
-        "accepted_kwargs is deprecated: pass a repro.exec.ExecutionContext to the "
-        "experiment (or its options to run_experiment) instead of filtering kwargs "
-        "by signature",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    parameters = inspect.signature(fn).parameters
-    named = {
-        name
-        for name, p in parameters.items()
-        if p.kind is not inspect.Parameter.VAR_KEYWORD
-    }
-    return {
-        name: value
-        for name, value in kwargs.items()
-        if name in named or name not in SHARED_EXECUTION_OPTIONS
-    }
-
-
-def split_execution_options(kwargs: dict) -> dict:
-    """Pop the legacy execution options out of ``kwargs`` (in place).
-
-    Returns the popped options; warns when any deprecated backend-selection
-    option (``runner`` / ``use_batch`` / ``cache``) is used.
-    """
-    options = {
-        name: kwargs.pop(name) for name in list(kwargs) if name in SHARED_EXECUTION_OPTIONS
-    }
-    deprecated = sorted(DEPRECATED_EXECUTION_OPTIONS & options.keys())
-    if deprecated:
-        warnings.warn(
-            f"passing {', '.join(deprecated)} as keyword arguments is deprecated: "
-            "build a repro.exec.ExecutionContext (e.g. "
-            "ExecutionContext(backend='vectorized')) and pass it as ctx=...",
-            DeprecationWarning,
-            stacklevel=3,
+    legacy = sorted(_LEGACY_EXECUTION_OPTIONS & params.keys())
+    if legacy:
+        hints = "; ".join(f"{name}= -> ctx={_LEGACY_REPLACEMENTS[name]}" for name in legacy)
+        raise TypeError(
+            f"the legacy execution keyword(s) {', '.join(legacy)} were removed: "
+            f"pass a repro.exec.ExecutionContext instead ({hints})"
         )
-    return options
-
-
-def build_context(
-    ctx: ExecutionContext | None, options: Mapping[str, Any]
-) -> ExecutionContext | None:
-    """Layer legacy execution options on top of ``ctx`` (both optional)."""
-    if options:
-        return ExecutionContext.from_legacy_kwargs(ctx, options)
-    return ctx
 
 
 @dataclass(frozen=True)
@@ -219,12 +172,11 @@ def run_experiment(
     parameters and are forwarded verbatim, so a misspelled parameter raises
     ``TypeError`` instead of silently falling back to a default.
 
-    For backward compatibility the legacy execution options are still
-    accepted as keywords — ``seed`` and ``paper_scale`` silently populate
-    the context, while ``runner`` / ``use_batch`` / ``cache`` do so with a
-    :class:`DeprecationWarning` — e.g. ``run_experiment("E5",
-    use_batch=True)`` behaves like ``run_experiment("E5",
+    The pre-context execution keywords (``seed``, ``paper_scale``,
+    ``runner``, ``use_batch``, ``cache``) completed their deprecation cycle
+    and now raise ``TypeError`` — e.g. ``run_experiment("E5",
+    use_batch=True)`` must be spelled ``run_experiment("E5",
     ctx=ExecutionContext(backend="vectorized"))``.
     """
-    ctx = build_context(ctx, split_execution_options(params))
+    reject_legacy_options(params)
     return get_experiment(experiment_id).run(ctx=ctx, **params)

@@ -16,7 +16,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.exec import ExecutionContext
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, build_context, split_execution_options
+from repro.experiments.registry import EXPERIMENTS, reject_legacy_options
 from repro.viz.tables import format_markdown_table
 
 __all__ = ["run_all", "render_markdown_report", "render_sweep_report"]
@@ -35,11 +35,11 @@ def run_all(
     experiment parameters forwarded verbatim to every selected experiment —
     useful when selecting a single experiment, and a ``TypeError`` when a
     parameter does not fit one of the selected experiments.  The legacy
-    execution keywords (``seed``, ``paper_scale``, and the deprecated
-    ``runner`` / ``use_batch`` / ``cache``) are still translated into the
-    context.
+    execution keywords (``seed`` / ``paper_scale`` / ``runner`` /
+    ``use_batch`` / ``cache``) raise ``TypeError`` naming the ``ctx=``
+    replacement.
     """
-    ctx = build_context(ctx, split_execution_options(kwargs))
+    reject_legacy_options(kwargs)
     ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
     results = []
     for experiment_id in ids:

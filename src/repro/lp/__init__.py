@@ -20,14 +20,22 @@ This subpackage provides
 * :mod:`repro.lp.exact` — the exact-OPT engine: branch-and-bound over
   completion suffixes with closed-form density floors and
   feasibility-certified leaves, replacing the ``n!`` ordering enumeration
-  behind :func:`~repro.lp.batch.optimal_values_batch`.
+  behind :func:`~repro.lp.batch.optimal`.
+
+Exact optima have a single entry point, :func:`repro.lp.optimal`, with
+``method`` drawn from :data:`repro.lp.OPTIMAL_METHODS`
+(``"branch-and-bound"`` or ``"enumerate"``).  The historical
+``optimal_values_batch`` and ``lower_bound_batch(method='exact')`` spellings
+remain as thin deprecated aliases.
 """
 
 from repro.lp.batch import (
+    OPTIMAL_METHODS,
     BatchedOptimalResult,
     BatchedOrderedLP,
     BatchedOrderedSolution,
     build_ordered_lp_batch,
+    optimal,
     optimal_values_batch,
     smith_orders_batch,
     solve_ordered_relaxation_batch,
@@ -61,6 +69,8 @@ __all__ = [
     "BatchedOptimalResult",
     "build_ordered_lp_batch",
     "solve_ordered_relaxation_batch",
+    "optimal",
+    "OPTIMAL_METHODS",
     "optimal_values_batch",
     "smith_orders_batch",
     "ExactSearchStats",

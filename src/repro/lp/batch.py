@@ -68,7 +68,9 @@ __all__ = [
     "normalize_orders",
     "build_ordered_lp_batch",
     "solve_ordered_relaxation_batch",
+    "optimal",
     "optimal_values_batch",
+    "OPTIMAL_METHODS",
 ]
 
 BatchBackend = Literal["batch", "scipy", "simplex"]
@@ -533,19 +535,25 @@ class BatchedOptimalResult:
 #: already 5 040 LPs per row), branch-and-bound prunes its way to ~14.
 _EXACT_METHOD_GUARDS = {"branch-and-bound": 14, "enumerate": 7}
 
+#: The methods :func:`optimal` understands — the single ``method=``
+#: vocabulary for exact optima everywhere in the package.
+OPTIMAL_METHODS = tuple(_EXACT_METHOD_GUARDS)
 
-def optimal_values_batch(
+
+def optimal(
     batch: InstanceBatch,
+    method: str = "branch-and-bound",
     backend: BatchBackend = "batch",
     ctx: "ExecutionContext | None" = None,
     max_tasks: "int | None" = None,
     chunk_size: int = _ENUMERATION_CHUNK,
-    method: str = "branch-and-bound",
 ) -> BatchedOptimalResult:
-    """Exact ``OPT(I)`` for every row of a batch.
+    """Exact ``OPT(I)`` for every row of a batch — the one entry point.
 
-    The batched counterpart of :func:`repro.algorithms.optimal.optimal_value`.
-    Two methods are available:
+    This dispatcher unifies the historical pair of exact-OPT spellings
+    (``optimal_values_batch(...)`` and ``lower_bound_batch(method='exact')``,
+    both now thin deprecated aliases) behind one consistent ``method=``
+    vocabulary (:data:`OPTIMAL_METHODS`):
 
     ``"branch-and-bound"`` (default)
         The subset-memoized prefix search of
@@ -554,12 +562,15 @@ def optimal_values_batch(
         batch Hypothesis produces) at a small fraction of the LP count,
         raising the practical ceiling to ``max_tasks = 14``.
     ``"enumerate"``
-        The historical exhaustive path: rows are grouped by task count,
-        each group's ``n!`` orderings are replicated against its rows, and
-        the resulting LPs are solved in lockstep chunks of at most
-        ``chunk_size``.  Kept as the differential reference and for callers
-        that want every ordering's LP solved.
+        The exhaustive path: rows are grouped by task count, each group's
+        ``n!`` orderings are replicated against its rows, and the resulting
+        LPs are solved in lockstep chunks of at most ``chunk_size``.  Kept
+        as the differential reference and for callers that want every
+        ordering's LP solved.
 
+    ``backend`` / ``ctx`` are forwarded to the batched LP layer, so a
+    vectorized context evaluates orderings in lockstep chunks while a
+    process-pool context shards scalar solves over its workers.
     ``max_tasks`` guards the exponential blow-up; it defaults to 14 for
     branch-and-bound and 7 for enumeration — raise it deliberately if you
     know what you are asking for.
@@ -576,7 +587,7 @@ def optimal_values_batch(
         )
     if method != "enumerate":
         raise SolverError(
-            f"unknown exact method {method!r}; expected 'branch-and-bound' or 'enumerate'"
+            f"unknown exact method {method!r}; expected one of {OPTIMAL_METHODS}"
         )
     max_tasks = max_tasks if max_tasks is not None else _EXACT_METHOD_GUARDS[method]
     counts = np.asarray(batch.counts, dtype=int)
@@ -626,4 +637,37 @@ def optimal_values_batch(
             best_orders[sub[improved]] = winners[improved]
     return BatchedOptimalResult(
         objectives=best, orders=best_orders, orderings_evaluated=evaluated
+    )
+
+
+def optimal_values_batch(
+    batch: InstanceBatch,
+    backend: BatchBackend = "batch",
+    ctx: "ExecutionContext | None" = None,
+    max_tasks: "int | None" = None,
+    chunk_size: int = _ENUMERATION_CHUNK,
+    method: str = "branch-and-bound",
+) -> BatchedOptimalResult:
+    """Deprecated alias of :func:`optimal` (parameter order differs).
+
+    .. deprecated::
+        Call :func:`repro.lp.optimal` instead — same semantics, with
+        ``method`` promoted to the second parameter so the exact-OPT entry
+        points share one vocabulary.
+    """
+    import warnings
+
+    warnings.warn(
+        "optimal_values_batch is deprecated: call repro.lp.optimal(batch, "
+        "method=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return optimal(
+        batch,
+        method=method,
+        backend=backend,
+        ctx=ctx,
+        max_tasks=max_tasks,
+        chunk_size=chunk_size,
     )

@@ -211,10 +211,10 @@ def _solver_timing_cell(
         # repro.lp.exact makes it affordable to ~n=12-14, and the spec opts
         # in via params.exact_max_n the same way lp_max_n gates the LP row.
         from repro.core.batch import InstanceBatch
-        from repro.lp.batch import optimal_values_batch
+        from repro.lp.batch import optimal
 
         exact_batch = InstanceBatch.from_instances([inst])
-        solvers["exact OPT (branch-and-bound)"] = lambda: optimal_values_batch(
+        solvers["exact OPT (branch-and-bound)"] = lambda: optimal(
             exact_batch, method="branch-and-bound"
         )
     return [

@@ -1,0 +1,178 @@
+"""Asyncio client for the scheduling service.
+
+:class:`ServiceClient` speaks the NDJSON protocol over one TCP connection,
+serialising requests so replies pair up with the calls that issued them.
+The typed helpers (:meth:`~ServiceClient.submit`, …) raise
+:class:`ServiceError` when the server answers with an
+:class:`~repro.api.ErrorReply`; :meth:`~ServiceClient.request` returns the
+raw reply dataclass for callers (the load generator) that want to count
+errors instead of raising.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.api import (
+    CancelReply,
+    CancelTask,
+    ErrorReply,
+    HealthReply,
+    HealthRequest,
+    MetricsReply,
+    MetricsRequest,
+    ProtocolError,
+    QueryShare,
+    QueryState,
+    ShareReply,
+    SimulateReply,
+    SimulateRequest,
+    StateReply,
+    SubmitReply,
+    SubmitTask,
+)
+from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """The server answered with a structured error reply."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One NDJSON connection to a :class:`~repro.service.SchedulerService`.
+
+    Usable as an async context manager::
+
+        async with ServiceClient(host, port, client_id="worker-1") as client:
+            reply = await client.submit(volume=4.0, weight=2.0, delta=2.0)
+    """
+
+    def __init__(self, host: str, port: int, client_id: str = ""):
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "ServiceClient":
+        """Open the connection (no-op when already connected)."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def request(self, message: object) -> object:
+        """Send one request and return the raw reply dataclass.
+
+        Raises :class:`~repro.api.ProtocolError` only on transport-level
+        failures (connection closed mid-reply); server-side rejections come
+        back as :class:`~repro.api.ErrorReply` values.
+        """
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        async with self._lock:
+            self._writer.write(encode_line(message))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ProtocolError("connection closed by server")
+        return decode_line(line)
+
+    async def _checked(self, message: object) -> object:
+        reply = await self.request(message)
+        if isinstance(reply, ErrorReply):
+            raise ServiceError(reply.code, reply.message)
+        return reply
+
+    # ----------------------------------------------------------------- #
+    # Typed helpers
+    # ----------------------------------------------------------------- #
+
+    async def submit(
+        self,
+        volume: float,
+        weight: float = 1.0,
+        delta: float = 1.0,
+        task_id: "str | None" = None,
+        now: "float | None" = None,
+    ) -> SubmitReply:
+        """Submit a task; returns the server's acknowledgement."""
+        reply = await self._checked(
+            SubmitTask(
+                volume=volume,
+                weight=weight,
+                delta=delta,
+                task_id=task_id,
+                client=self.client_id,
+                now=now,
+            )
+        )
+        assert isinstance(reply, SubmitReply)
+        return reply
+
+    async def cancel(self, task_id: str, now: "float | None" = None) -> CancelReply:
+        """Cancel a task by id."""
+        reply = await self._checked(
+            CancelTask(task_id=task_id, client=self.client_id, now=now)
+        )
+        assert isinstance(reply, CancelReply)
+        return reply
+
+    async def share(
+        self, task_id: str, project: bool = False, now: "float | None" = None
+    ) -> ShareReply:
+        """Query a task's current share (optionally projecting completion)."""
+        reply = await self._checked(
+            QueryShare(task_id=task_id, project=project, client=self.client_id, now=now)
+        )
+        assert isinstance(reply, ShareReply)
+        return reply
+
+    async def state(self, now: "float | None" = None) -> StateReply:
+        """Query the aggregate counters."""
+        reply = await self._checked(QueryState(now=now))
+        assert isinstance(reply, StateReply)
+        return reply
+
+    async def metrics(self) -> MetricsReply:
+        """Fetch the metrics snapshot."""
+        reply = await self._checked(MetricsRequest())
+        assert isinstance(reply, MetricsReply)
+        return reply
+
+    async def health(self) -> HealthReply:
+        """Probe service health."""
+        reply = await self._checked(HealthRequest())
+        assert isinstance(reply, HealthReply)
+        return reply
+
+    async def simulate(self, request: SimulateRequest) -> SimulateReply:
+        """Run a one-shot offline simulation on the server."""
+        reply = await self._checked(request)
+        assert isinstance(reply, SimulateReply)
+        return reply

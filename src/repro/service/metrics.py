@@ -1,0 +1,116 @@
+"""Service metrics: latency histograms, counters and gauges.
+
+Stdlib-only and allocation-light: the server records one histogram
+observation and a couple of counter increments per request, so everything
+here is O(1) per observation with fixed-size storage.  The whole registry
+renders to one JSON-representable mapping served by the ``/metrics``
+endpoint and carried by :class:`repro.api.MetricsReply`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable
+
+__all__ = ["LatencyHistogram", "MetricsRegistry", "DEFAULT_LATENCY_BOUNDS"]
+
+#: Log-spaced bucket upper bounds in seconds, 10 µs .. 60 s.  Chosen so the
+#: interesting service range (tens of µs to tens of ms) gets ~9% resolution.
+DEFAULT_LATENCY_BOUNDS: "tuple[float, ...]" = tuple(
+    round(1e-5 * (10 ** (i / 12)), 12) for i in range(12 * 7 + 1)
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with approximate percentiles.
+
+    Observations land in log-spaced buckets; percentiles are reported as
+    the upper bound of the bucket containing the requested rank, i.e. a
+    conservative (never under-reporting) estimate with the bucket
+    resolution (~9% by default).
+    """
+
+    def __init__(self, bounds: "tuple[float, ...]" = DEFAULT_LATENCY_BOUNDS):
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing and non-empty")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (in seconds)."""
+        value = max(float(value), 0.0)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket bound containing the ``q``-th percentile (0..100)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(q / 100.0 * self.count)))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observation, 0.0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> "dict[str, float]":
+        """The JSON-representable digest served by ``/metrics``."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, histograms and gauge callbacks, one snapshot away.
+
+    Counters and histograms are created on first use; gauges are callables
+    registered once (e.g. ``lambda: state.live_count``) and evaluated at
+    snapshot time so they always report the current value.
+    """
+
+    def __init__(self) -> None:
+        self.counters: "dict[str, float]" = {}
+        self.histograms: "dict[str, LatencyHistogram]" = {}
+        self._gauges: "dict[str, Callable[[], float]]" = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` (seconds) in histogram ``name`` (created empty)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        hist.observe(value)
+
+    def register_gauge(self, name: str, fn: "Callable[[], float]") -> None:
+        """Register a gauge callback evaluated at every snapshot."""
+        self._gauges[name] = fn
+
+    def snapshot(self) -> "dict[str, Any]":
+        """One JSON-representable mapping of everything the registry holds."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {name: float(fn()) for name, fn in sorted(self._gauges.items())},
+            "histograms": {
+                name: hist.summary() for name, hist in sorted(self.histograms.items())
+            },
+        }

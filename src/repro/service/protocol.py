@@ -1,0 +1,89 @@
+"""Wire framing: newline-delimited JSON, plus minimal HTTP sniffing.
+
+One :mod:`repro.api` message per line — ``{"type": tag, ...fields}`` as
+compact JSON terminated by ``\\n``.  The same TCP port also answers plain
+HTTP ``GET /metrics`` and ``GET /health`` (for curl and scrapers): the
+server sniffs the first line of a connection and, when it looks like an
+HTTP request line, answers one minimal HTTP/1.0 response and closes.
+
+Everything here is transport-only; message semantics live in
+:mod:`repro.api` and :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api import ProtocolError, decode_message, encode_message
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "encode_line",
+    "decode_line",
+    "sniff_http_path",
+    "http_response",
+]
+
+#: Upper bound on one NDJSON line (guards the reader against hostile input).
+MAX_LINE_BYTES = 1 << 20
+
+_HTTP_METHODS = (b"GET ", b"HEAD ", b"POST ")
+
+_HTTP_STATUS = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+
+
+def encode_line(message: object) -> bytes:
+    """Serialise one message dataclass to a compact NDJSON line."""
+    return (
+        json.dumps(encode_message(message), separators=(",", ":")).encode("utf-8")
+        + b"\n"
+    )
+
+
+def decode_line(line: bytes) -> object:
+    """Parse one NDJSON line back into its message dataclass.
+
+    Raises :class:`repro.api.ProtocolError` on invalid JSON as well as on
+    schema violations, so the server has a single failure type to map to an
+    ``ErrorReply``.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    return decode_message(payload)
+
+
+def sniff_http_path(first_line: bytes) -> "str | None":
+    """The request path when ``first_line`` is an HTTP request line, else None.
+
+    Only the method prefix and the ``METHOD SP path SP version`` shape are
+    checked — enough to route curl/scraper traffic away from the NDJSON
+    loop without a real HTTP parser.
+    """
+    if not first_line.startswith(_HTTP_METHODS):
+        return None
+    parts = first_line.strip().split()
+    if len(parts) != 3 or not parts[2].startswith(b"HTTP/"):
+        return None
+    try:
+        return parts[1].decode("ascii")
+    except UnicodeDecodeError:
+        return None
+
+
+def http_response(status: int, body: "dict[str, Any]") -> bytes:
+    """One self-contained HTTP/1.0 response with a JSON body."""
+    payload = json.dumps(body, indent=2).encode("utf-8") + b"\n"
+    reason = _HTTP_STATUS.get(status, "OK")
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + payload

@@ -1,0 +1,86 @@
+"""Token-bucket rate limiting, per client.
+
+A :class:`TokenBucket` refills lazily (no timers, no tasks): each
+:meth:`~TokenBucket.allow` call credits ``rate * elapsed`` tokens capped at
+``burst`` and spends one.  :class:`ClientRateLimiter` keeps one bucket per
+client id with LRU eviction, so an open service cannot be memory-exhausted
+by a stream of fresh client ids.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["TokenBucket", "ClientRateLimiter"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: "Callable[[], float]" = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def allow(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False means rate-limited."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class ClientRateLimiter:
+    """One :class:`TokenBucket` per client id, LRU-bounded.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed) —
+    the default of ``malleable-repro serve``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 100.0,
+        max_clients: int = 10_000,
+        clock: "Callable[[], float]" = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        """True when a positive rate was configured."""
+        return self.rate > 0
+
+    def allow(self, client: str) -> bool:
+        """Spend one token of ``client``'s bucket (always True when disabled)."""
+        if not self.enabled:
+            return True
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.allow()

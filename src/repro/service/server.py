@@ -1,0 +1,449 @@
+"""The scheduling service: dispatch, admission, rate limiting, asyncio TCP.
+
+:class:`SchedulerService` is deliberately split in two layers:
+
+* :meth:`SchedulerService.handle` is a *synchronous* request → reply
+  function over the :mod:`repro.api` dataclasses.  In-process callers (the
+  unit tests, embedding applications) use it directly — no sockets, no
+  event loop — and the TCP layer calls the very same method, so wire and
+  in-process behaviour cannot drift apart.
+* The asyncio layer (:meth:`start` / :meth:`serve_forever`) frames NDJSON
+  connections, sniffs plain HTTP ``GET /metrics`` / ``GET /health`` on the
+  same port, and implements graceful drain: on SIGTERM the listener closes,
+  new submissions are refused with code ``draining``, and existing
+  connections get ``drain_grace`` seconds to finish before the loop stops.
+
+Admission control (a ceiling on live tasks) and per-client token-bucket
+rate limiting run inside :meth:`handle`, so they protect the in-process
+path too.  Every request is timed into per-type latency histograms and the
+simulation-advance portion into ``sim.*`` histograms — served by
+``/metrics`` and by :class:`repro.api.MetricsRequest`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import (
+    CancelReply,
+    CancelTask,
+    ErrorReply,
+    HealthReply,
+    HealthRequest,
+    MetricsReply,
+    MetricsRequest,
+    ProtocolError,
+    QueryShare,
+    QueryState,
+    ShareReply,
+    SimulateReply,
+    SimulateRequest,
+    StateReply,
+    SubmitReply,
+    SubmitTask,
+    encode_message,
+    message_type,
+)
+from repro.core.batch import InstanceBatch
+from repro.core.exceptions import ReproError
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+    http_response,
+    sniff_http_path,
+)
+from repro.service.ratelimit import ClientRateLimiter
+from repro.service.state import (
+    DuplicateTaskError,
+    LiveSystemState,
+    UnknownTaskError,
+    make_policy,
+)
+
+__all__ = ["ServiceConfig", "SchedulerService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`SchedulerService`.
+
+    ``virtual_time=True`` makes the service honour the ``now`` field of
+    requests (clamped monotonic) instead of the wall clock — the mode the
+    differential tests use to replay a deterministic event history.
+    ``rate_limit`` is per-client requests/second (0 disables), and
+    ``max_live_tasks`` is the admission ceiling on concurrently running
+    tasks.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port, exposed via .address after start()
+    P: float = 8.0
+    policy: str = "wdeq"
+    max_live_tasks: int = 10_000
+    rate_limit: float = 0.0
+    rate_burst: float = 100.0
+    virtual_time: bool = False
+    atol: float = 1e-10
+    drain_grace: float = 5.0
+
+
+class SchedulerService:
+    """One live malleable-task system behind a request/reply interface."""
+
+    def __init__(self, config: "ServiceConfig | None" = None):
+        self.config = config or ServiceConfig()
+        self.state = LiveSystemState(
+            P=self.config.P, policy=self.config.policy, atol=self.config.atol
+        )
+        self.metrics = MetricsRegistry()
+        self.limiter = ClientRateLimiter(
+            self.config.rate_limit, self.config.rate_burst
+        )
+        self.rejected = 0
+        self.draining = False
+        self.address: "tuple[str, int] | None" = None
+        self._t0 = time.monotonic()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._connections: "set[asyncio.StreamWriter]" = set()
+        self._stopped: "asyncio.Event | None" = None
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        self.metrics.register_gauge("live_tasks", lambda: self.state.live_count)
+        self.metrics.register_gauge("queue_slots", lambda: self.state.used_slots)
+        self.metrics.register_gauge("virtual_now", lambda: self.state.now)
+        self.metrics.register_gauge("sim_events", lambda: self.state.total_events)
+        self.metrics.register_gauge("connections", lambda: len(self._connections))
+        self.metrics.register_gauge("draining", lambda: float(self.draining))
+
+    # ----------------------------------------------------------------- #
+    # Synchronous request handling (shared by wire and in-process paths)
+    # ----------------------------------------------------------------- #
+
+    def handle(self, request: object, client: str = "") -> object:
+        """Serve one :mod:`repro.api` request, returning a reply dataclass.
+
+        Never raises for client mistakes — those come back as structured
+        :class:`~repro.api.ErrorReply` values; only genuine server bugs
+        surface as ``ErrorReply(code='internal')``.
+        """
+        start = time.perf_counter()
+        try:
+            tag = message_type(request)
+        except ProtocolError as exc:
+            return self._finish("invalid", start, ErrorReply("protocol", str(exc)))
+        client = getattr(request, "client", "") or client or "anonymous"
+        if not isinstance(request, (MetricsRequest, HealthRequest)) and not self.limiter.allow(client):
+            self.metrics.inc("rate_limited_total")
+            return self._finish(
+                tag, start, ErrorReply("rate_limited", f"client {client!r} exceeded the request rate")
+            )
+        try:
+            reply = self._dispatch(request)
+        except ProtocolError as exc:
+            reply = ErrorReply("protocol", str(exc))
+        except (ValueError, ReproError) as exc:
+            reply = ErrorReply("invalid", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the server must answer
+            self.metrics.inc("internal_errors_total")
+            reply = ErrorReply("internal", f"{type(exc).__name__}: {exc}")
+        return self._finish(tag, start, reply)
+
+    def _finish(self, tag: str, start: float, reply: object) -> object:
+        self.metrics.observe(f"latency.{tag}", time.perf_counter() - start)
+        self.metrics.inc("requests_total")
+        if isinstance(reply, ErrorReply):
+            self.metrics.inc("errors_total")
+            self.metrics.inc(f"errors.{reply.code}")
+        return reply
+
+    def _now(self, request: object) -> float:
+        if self.config.virtual_time:
+            now = getattr(request, "now", None)
+            return self.state.now if now is None else float(now)
+        return time.monotonic() - self._t0
+
+    def _timed_sim(self, name: str, fn, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.metrics.observe(name, time.perf_counter() - start)
+
+    def _dispatch(self, request: object) -> object:
+        state = self.state
+        if isinstance(request, SubmitTask):
+            if self.draining:
+                return ErrorReply("draining", "service is draining; not accepting tasks")
+            if state.live_count >= self.config.max_live_tasks:
+                self.rejected += 1
+                self.metrics.inc("admission_rejected_total")
+                return ErrorReply(
+                    "admission_rejected",
+                    f"live-task ceiling {self.config.max_live_tasks} reached",
+                )
+            try:
+                record = self._timed_sim(
+                    "sim.step",
+                    state.submit,
+                    request.volume,
+                    request.weight,
+                    request.delta,
+                    now=self._now(request),
+                    task_id=request.task_id,
+                )
+            except DuplicateTaskError as exc:
+                return ErrorReply("duplicate_task", str(exc))
+            return SubmitReply(
+                task_id=record.task_id,
+                now=state.now,
+                share=state.share_of(record.task_id),
+                live_tasks=state.live_count,
+            )
+
+        if isinstance(request, CancelTask):
+            try:
+                cancelled = self._timed_sim(
+                    "sim.step", state.cancel, request.task_id, now=self._now(request)
+                )
+            except UnknownTaskError:
+                return ErrorReply("unknown_task", f"no task {request.task_id!r}")
+            record = state.records[request.task_id]
+            return CancelReply(
+                task_id=request.task_id,
+                cancelled=cancelled,
+                now=state.now,
+                status=record.status,
+            )
+
+        if isinstance(request, QueryShare):
+            try:
+                share = self._timed_sim(
+                    "sim.step", state.share_of, request.task_id, now=self._now(request)
+                )
+            except UnknownTaskError:
+                return ErrorReply("unknown_task", f"no task {request.task_id!r}")
+            record = state.records[request.task_id]
+            projected = None
+            if request.project:
+                projected = self._timed_sim(
+                    "sim.project", state.project_completion, request.task_id
+                )
+            return ShareReply(
+                task_id=request.task_id,
+                status=record.status,
+                share=share,
+                remaining=state.remaining_of(request.task_id),
+                now=state.now,
+                completion_time=record.completion_time,
+                projected_completion=projected,
+            )
+
+        if isinstance(request, QueryState):
+            self._timed_sim("sim.step", state.advance_to, self._now(request))
+            return StateReply(
+                now=state.now,
+                live_tasks=state.live_count,
+                submitted=state.submitted,
+                completed=state.completed,
+                cancelled=state.cancelled,
+                rejected=self.rejected,
+            )
+
+        if isinstance(request, MetricsRequest):
+            return MetricsReply(metrics=self.metrics.snapshot())
+
+        if isinstance(request, HealthRequest):
+            return HealthReply(
+                status="draining" if self.draining else "ok",
+                now=state.now,
+                live_tasks=state.live_count,
+                draining=self.draining,
+            )
+
+        if isinstance(request, SimulateRequest):
+            return self._timed_sim("sim.batch", self._simulate, request)
+
+        raise ProtocolError(f"{type(request).__name__} is not a request message")
+
+    def _simulate(self, request: SimulateRequest) -> SimulateReply:
+        from repro.batch.sim_kernels import simulate_batch
+
+        n = len(request.volumes)
+        if n == 0:
+            raise ValueError("simulate requires at least one task")
+        if len(request.weights) != n or len(request.deltas) != n:
+            raise ValueError("volumes, weights and deltas must have equal length")
+        if request.P <= 0:
+            raise ValueError(f"P must be positive, got {request.P}")
+        batch = InstanceBatch.from_arrays(
+            P=np.array([float(request.P)]),
+            volumes=np.array([request.volumes], dtype=float),
+            weights=np.array([request.weights], dtype=float),
+            deltas=np.minimum(np.array([request.deltas], dtype=float), float(request.P)),
+        )
+        releases = None
+        if request.release_times is not None:
+            if len(request.release_times) != n:
+                raise ValueError("release_times must match the task count")
+            releases = np.array([request.release_times], dtype=float)
+        result = simulate_batch(batch, make_policy(request.policy), release_times=releases)
+        return SimulateReply(
+            completion_times=tuple(float(c) for c in result.completion_times[0]),
+            weighted_completion_time=float(result.weighted_completion_times()[0]),
+            makespan=float(result.makespans()[0]),
+            num_events=int(result.num_events[0]),
+        )
+
+    # ----------------------------------------------------------------- #
+    # The asyncio layer
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind the listener; returns the actual ``(host, port)``."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until :meth:`request_drain` (or SIGTERM/SIGINT) completes."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError):
+                    loop.add_signal_handler(sig, self.request_drain)
+        await self._stopped.wait()
+        await self.shutdown()
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown: refuse submissions, then stop.
+
+        Idempotent and safe to call from a signal handler (it only sets a
+        flag and schedules the drain coroutine on the running loop).
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self.metrics.inc("drains_total")
+        if self._stopped is not None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                return
+            loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_grace
+        while self._connections and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    async def shutdown(self) -> None:
+        """Close the listener and every remaining connection."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._connections.clear()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self.metrics.inc("connections_total")
+        try:
+            first = await self._read_line(reader, writer)
+            if first is None:
+                return
+            path = sniff_http_path(first)
+            if path is not None:
+                await self._serve_http(reader, writer, path)
+                return
+            peer = writer.get_extra_info("peername")
+            default_client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "local"
+            line: "bytes | None" = first
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        request = decode_line(stripped)
+                    except ProtocolError as exc:
+                        self.metrics.inc("protocol_errors_total")
+                        reply: object = ErrorReply("protocol", str(exc))
+                    else:
+                        reply = self.handle(request, client=default_client)
+                    writer.write(encode_line(reply))
+                    await writer.drain()
+                line = await self._read_line(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_line(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> "bytes | None":
+        """One line, or None on EOF / an over-long line (answered + closed)."""
+        try:
+            line = await reader.readline()
+        except ValueError:  # line exceeded the stream limit
+            self.metrics.inc("protocol_errors_total")
+            with contextlib.suppress(Exception):
+                writer.write(
+                    encode_line(
+                        ErrorReply("protocol", f"message exceeds {MAX_LINE_BYTES} bytes")
+                    )
+                )
+                await writer.drain()
+            return None
+        return line or None
+
+    async def _serve_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        with contextlib.suppress(asyncio.TimeoutError, ValueError):
+            while True:  # drain the request headers, best effort
+                header = await asyncio.wait_for(reader.readline(), timeout=1.0)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            reply = self.handle(MetricsRequest())
+            payload = http_response(200, encode_message(reply))
+        elif path == "/health":
+            reply = self.handle(HealthRequest())
+            status = 503 if self.draining else 200
+            payload = http_response(status, encode_message(reply))
+        else:
+            payload = http_response(404, {"error": f"unknown path {path!r}"})
+        writer.write(payload)
+        await writer.drain()

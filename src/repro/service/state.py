@@ -1,0 +1,433 @@
+"""The live system behind the scheduling service.
+
+:class:`LiveSystemState` wraps one row (``B = 1``) of the batched
+simulation engine and exposes the online operations the service needs:
+submit a task *now*, cancel one, ask for its current processor share, or
+project its completion.  Every operation first advances the simulation
+**incrementally** — :func:`repro.batch.sim_kernels.advance_simulation_state`
+runs from the current virtual time up to ``now`` — instead of replaying the
+whole history from ``t = 0``; at a thousand live tasks that is the
+difference between one event step and thousands (see
+``benchmarks/bench_service.py``).
+
+Dynamic arrival rides entirely on the engine's release-time machinery: a
+task submitted at ``now`` occupies a fresh column with ``release = now``.
+If the system was idle (the clock frozen at an earlier completion), the
+task stays *pending* and the engine's idle-advance moves the clock to
+``now`` before any work is granted — no phantom work can accrue over the
+gap.  Because the built-in policies are memoryless, pausing at arbitrary
+query times never changes the trajectory, and pauses at submit times align
+with the oracle's release events, so a from-scratch
+:func:`~repro.batch.sim_kernels.simulate_batch` over the full submission
+history reproduces the live run event-for-event — the differential test in
+``tests/test_service.py`` pins exactly that.
+
+The task axis is append-only (capacity doubles like a vector) until the
+dead-slot count dominates, at which point :meth:`LiveSystemState.compact`
+drops completed/cancelled columns; dropping inert columns cannot change
+any future allocation, so compaction is invisible to the trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batch.sim_kernels import (
+    BatchPolicy,
+    BatchSimulationState,
+    DeqBatchPolicy,
+    FairShareNoCapBatchPolicy,
+    WdeqBatchPolicy,
+    advance_simulation_state,
+)
+from repro.core.batch import InstanceBatch
+
+__all__ = [
+    "POLICY_NAMES",
+    "make_policy",
+    "TaskRecord",
+    "UnknownTaskError",
+    "DuplicateTaskError",
+    "LiveSystemState",
+]
+
+#: Wire names of the policies the service can run.
+_POLICY_FACTORIES = {
+    "wdeq": WdeqBatchPolicy,
+    "deq": DeqBatchPolicy,
+    "fair-share": FairShareNoCapBatchPolicy,
+}
+
+POLICY_NAMES: "tuple[str, ...]" = tuple(_POLICY_FACTORIES)
+
+#: Initial/minimum width of the task axis.
+_MIN_CAPACITY = 64
+
+
+def make_policy(name: str) -> BatchPolicy:
+    """Instantiate a batched policy from its wire name (see POLICY_NAMES)."""
+    try:
+        return _POLICY_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {', '.join(POLICY_NAMES)}"
+        ) from None
+
+
+class UnknownTaskError(KeyError):
+    """The referenced task id was never submitted (or pre-dates a restart)."""
+
+
+class DuplicateTaskError(ValueError):
+    """A submission reused a task id that already exists."""
+
+
+@dataclass
+class TaskRecord:
+    """Bookkeeping for one submitted task.
+
+    ``status`` walks ``running -> completed | cancelled``; ``slot`` is the
+    task's current column in the padded arrays (rewritten by compaction,
+    ``-1`` once the column was dropped).
+    """
+
+    task_id: str
+    slot: int
+    volume: float
+    weight: float
+    delta: float
+    submit_time: float
+    status: str = "running"
+    completion_time: "float | None" = None
+
+
+class LiveSystemState:
+    """One malleable-task system evolving in virtual time.
+
+    Parameters
+    ----------
+    P:
+        Platform size (number of processors).
+    policy:
+        Wire name of the allocation policy (``wdeq``, ``deq``,
+        ``fair-share``).
+    atol:
+        Completion-detection tolerance, forwarded to the engine.
+    """
+
+    def __init__(self, P: float, policy: str = "wdeq", atol: float = 1e-10):
+        if P <= 0:
+            raise ValueError(f"P must be positive, got {P}")
+        self.P = float(P)
+        self.policy_name = policy
+        self.policy = make_policy(policy)
+        self.atol = float(atol)
+        self.records: "dict[str, TaskRecord]" = {}
+        self._running: "set[str]" = set()
+        self._slot_task: "list[str]" = []  # task id per used slot, in order
+        # Live-by-slot bitmap: completion detection diffs this against the
+        # engine's `completed` in one vector op instead of a Python loop
+        # over every running task (the difference between O(1) and O(live)
+        # per request at a thousand live tasks).
+        self._live_slots = np.zeros(_MIN_CAPACITY, dtype=bool)
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self._auto_id = 0
+        self.state = self._blank_state(_MIN_CAPACITY)
+
+    # ----------------------------------------------------------------- #
+    # Array plumbing
+    # ----------------------------------------------------------------- #
+
+    def _blank_state(self, capacity: int) -> BatchSimulationState:
+        batch = InstanceBatch(
+            P=np.array([self.P]),
+            volumes=np.zeros((1, capacity)),
+            weights=np.zeros((1, capacity)),
+            deltas=np.ones((1, capacity)),
+            mask=np.zeros((1, capacity), dtype=bool),
+        )
+        return BatchSimulationState(
+            batch=batch,
+            releases=np.zeros((1, capacity)),
+            atol=self.atol,
+            t=np.zeros(1),
+            remaining=np.zeros((1, capacity)),
+            work_done=np.zeros((1, capacity)),
+            completed=np.ones((1, capacity), dtype=bool),  # all padding
+            released=np.ones((1, capacity), dtype=bool),
+            completion_times=np.zeros((1, capacity)),
+            num_events=np.zeros(1, dtype=int),
+            finish_tol=self.atol * np.ones((1, capacity)),
+            traces=None,
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Current width of the task axis."""
+        return self.state.batch.n_max
+
+    @property
+    def used_slots(self) -> int:
+        """Number of occupied columns (live or dead, pre-compaction)."""
+        return len(self._slot_task)
+
+    @property
+    def live_count(self) -> int:
+        """Number of tasks currently running (submitted, not finished)."""
+        return len(self._running)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time of the system."""
+        return float(self.state.t[0])
+
+    @property
+    def total_events(self) -> int:
+        """Engine events processed since the service started."""
+        return int(self.state.num_events[0])
+
+    def _copy_columns(self, capacity: int, keep: "np.ndarray | None" = None) -> None:
+        """Re-home the state into fresh arrays of width ``capacity``.
+
+        ``keep`` selects the columns to carry over (default: all used
+        slots); dropped columns must already be inert (completed).
+        """
+        old = self.state
+        if keep is None:
+            keep = np.arange(self.used_slots)
+        n = len(keep)
+        new = self._blank_state(capacity)
+        for name in ("volumes", "weights", "deltas", "mask"):
+            getattr(new.batch, name)[0, :n] = getattr(old.batch, name)[0, keep]
+        for name in (
+            "releases",
+            "remaining",
+            "work_done",
+            "completed",
+            "released",
+            "completion_times",
+            "finish_tol",
+        ):
+            getattr(new, name)[0, :n] = getattr(old, name)[0, keep]
+        new.t[:] = old.t
+        new.num_events[:] = old.num_events
+        self.state = new
+        live = np.zeros(capacity, dtype=bool)
+        live[:n] = self._live_slots[keep]
+        self._live_slots = live
+        kept_ids = [self._slot_task[int(s)] for s in keep]
+        self._slot_task = kept_ids
+        for slot, task_id in enumerate(kept_ids):
+            self.records[task_id].slot = slot
+
+    def compact(self) -> int:
+        """Drop dead (completed/cancelled) columns; returns how many.
+
+        Inert columns receive no processors and trigger no events, so the
+        trajectory is unchanged; the dropped tasks' records keep their
+        completion times with ``slot = -1``.
+        """
+        used = self.used_slots
+        dead = self.state.completed[0, :used] & self.state.batch.mask[0, :used]
+        keep = np.nonzero(~dead)[0]
+        dropped = used - len(keep)
+        if dropped == 0:
+            return 0
+        for slot in np.nonzero(dead)[0]:
+            self.records[self._slot_task[int(slot)]].slot = -1
+        self._copy_columns(max(_MIN_CAPACITY, 2 * len(keep)), keep)
+        return dropped
+
+    def _next_slot(self) -> int:
+        used = self.used_slots
+        dead = used - self.live_count
+        if dead > _MIN_CAPACITY and dead > 2 * self.live_count:
+            self.compact()
+            used = self.used_slots
+        if used == self.capacity:
+            self._copy_columns(2 * self.capacity)
+        return used
+
+    # ----------------------------------------------------------------- #
+    # Time
+    # ----------------------------------------------------------------- #
+
+    def advance_to(self, now: float) -> float:
+        """Advance the simulation up to ``now`` (clamped monotonic).
+
+        Returns the effective time: ``max(now, current clock)``.  The clock
+        itself may stay behind ``now`` when the system is idle — the next
+        release will pull it forward, which is what prevents phantom work.
+        """
+        now = max(float(now), float(self.state.t[0]))
+        advance_simulation_state(self.state, self.policy, until=now)
+        self._sync_completions()
+        return now
+
+    def _sync_completions(self) -> None:
+        newly = self._live_slots & self.state.completed[0]
+        if not newly.any():
+            return
+        times = self.state.completion_times
+        for slot in np.nonzero(newly)[0]:
+            record = self.records[self._slot_task[int(slot)]]
+            record.status = "completed"
+            record.completion_time = float(times[0, slot])
+            self._running.discard(record.task_id)
+            self.completed += 1
+        self._live_slots[newly] = False
+
+    # ----------------------------------------------------------------- #
+    # Operations
+    # ----------------------------------------------------------------- #
+
+    def submit(
+        self,
+        volume: float,
+        weight: float = 1.0,
+        delta: float = 1.0,
+        now: float = 0.0,
+        task_id: "str | None" = None,
+    ) -> TaskRecord:
+        """Add a task at virtual time ``now`` and return its record.
+
+        ``delta`` is clamped to the platform size.  Raises ``ValueError``
+        on non-positive parameters and :class:`DuplicateTaskError` on a
+        reused id.
+        """
+        volume, weight, delta = float(volume), float(weight), float(delta)
+        if volume <= 0:
+            raise ValueError(f"volume must be positive, got {volume}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        delta = min(delta, self.P)
+        if task_id is None:
+            task_id = f"t{self._auto_id}"
+            self._auto_id += 1
+        if task_id in self.records:
+            raise DuplicateTaskError(f"task id {task_id!r} already exists")
+
+        now = self.advance_to(now)
+        slot = self._next_slot()
+        state = self.state  # _next_slot may have re-homed the arrays
+        batch = state.batch
+        batch.volumes[0, slot] = volume
+        batch.weights[0, slot] = weight
+        batch.deltas[0, slot] = delta
+        batch.mask[0, slot] = True
+        state.releases[0, slot] = now
+        state.remaining[0, slot] = volume
+        state.work_done[0, slot] = 0.0
+        state.completion_times[0, slot] = 0.0
+        state.completed[0, slot] = False
+        state.finish_tol[0, slot] = self.atol * max(1.0, volume)
+        # Matches the engine's release rule: due releases fire in the same
+        # step that reaches their time, so a submit while the clock already
+        # sits at ``now`` must not cost an extra zero-dt event.
+        state.released[0, slot] = now <= state.t[0] + self.atol
+
+        record = TaskRecord(
+            task_id=task_id,
+            slot=slot,
+            volume=volume,
+            weight=weight,
+            delta=delta,
+            submit_time=now,
+        )
+        self.records[task_id] = record
+        self._slot_task.append(task_id)
+        self._running.add(task_id)
+        self._live_slots[slot] = True
+        self.submitted += 1
+        # Fire the release (idle systems advance their frozen clock here).
+        self.advance_to(now)
+        return record
+
+    def cancel(self, task_id: str, now: float = 0.0) -> bool:
+        """Cancel a task at ``now``; False when it already finished."""
+        record = self.records.get(task_id)
+        if record is None:
+            raise UnknownTaskError(task_id)
+        self.advance_to(now)
+        if record.status != "running":
+            return False
+        state = self.state
+        state.completed[0, record.slot] = True
+        state.remaining[0, record.slot] = 0.0
+        state.completion_times[0, record.slot] = state.t[0]
+        record.status = "cancelled"
+        record.completion_time = float(state.t[0])
+        self._running.discard(task_id)
+        self._live_slots[record.slot] = False
+        self.cancelled += 1
+        return True
+
+    def shares(self) -> np.ndarray:
+        """Current per-slot processor shares, shape ``(capacity,)``."""
+        state = self.state
+        batch = state.batch
+        active = state.released & ~state.completed & batch.mask
+        if not active.any():
+            return np.zeros(self.capacity)
+        rates = self.policy.allocate(
+            batch.P,
+            batch.weights,
+            batch.deltas,
+            state.work_done,
+            state.t[:, None] - state.releases,
+            active,
+        )
+        return np.where(active, np.clip(rates, 0.0, batch.deltas), 0.0)[0]
+
+    def share_of(self, task_id: str, now: "float | None" = None) -> float:
+        """The processor share ``task_id`` receives at ``now``."""
+        record = self.records.get(task_id)
+        if record is None:
+            raise UnknownTaskError(task_id)
+        if now is not None:
+            self.advance_to(now)
+        if record.status != "running":
+            return 0.0
+        return float(self.shares()[record.slot])
+
+    def remaining_of(self, task_id: str) -> float:
+        """Work left on ``task_id`` (0.0 once finished)."""
+        record = self.records.get(task_id)
+        if record is None:
+            raise UnknownTaskError(task_id)
+        if record.status != "running":
+            return 0.0
+        return float(self.state.remaining[0, record.slot])
+
+    def project_completion(self, task_id: str) -> "float | None":
+        """What-if: when would ``task_id`` finish if no more tasks arrive?
+
+        Clones the live state and runs the clone to completion under the
+        current policy; the live system is untouched.  Returns the task's
+        actual completion time when it already finished.
+        """
+        record = self.records.get(task_id)
+        if record is None:
+            raise UnknownTaskError(task_id)
+        if record.status != "running":
+            return record.completion_time
+        ghost = self.state.clone()
+        # Pending releases in the clone fire on their own; run to the end.
+        advance_simulation_state(ghost, self.policy, until=None)
+        return float(ghost.completion_times[0, record.slot])
+
+    def snapshot(self) -> "dict[str, float | int]":
+        """Aggregate counters for :class:`repro.api.StateReply`."""
+        return {
+            "now": self.now,
+            "live_tasks": self.live_count,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+        }

@@ -29,7 +29,6 @@ from repro.core.bounds import combined_lower_bound, time_leq, times_close
 from repro.core.exceptions import InfeasibleScheduleError, InvalidInstanceError
 from repro.core.instance import Instance, Task
 from repro.experiments.base import map_instances
-from repro.experiments.registry import accepted_kwargs
 from repro.workloads.generators import cluster_instances, uniform_instances
 
 # --------------------------------------------------------------------- #
@@ -338,27 +337,15 @@ class TestExperimentIntegration:
         runner = BatchRunner(workers=2, executor="thread")
         assert map_instances(_task_count, insts, runner) == [2] * 4
 
-    def test_accepted_kwargs_filters_shared_options_only(self):
-        def fn(a, b=1):
-            return a + b
+    def test_legacy_execution_kwargs_raise_with_ctx_hint(self):
+        from repro.experiments.registry import run_experiment
 
-        with pytest.deprecated_call():
-            assert accepted_kwargs(fn, {"a": 1, "b": 2, "runner": None}) == {"a": 1, "b": 2}
-        # A misspelled experiment parameter is NOT dropped: it must reach fn
-        # and raise TypeError rather than silently fall back to the default.
-        with pytest.deprecated_call():
-            assert "typo_param" in accepted_kwargs(fn, {"a": 1, "typo_param": 5})
-
-        def fn_var(**kwargs):
-            return kwargs
-
-        # Ordinary parameters still flow into **kwargs ...
-        with pytest.deprecated_call():
-            assert accepted_kwargs(fn_var, {"x": 1}) == {"x": 1}
-        # ... but *undeclared* execution options no longer get silently
-        # swallowed by the var-keyword signature.
-        with pytest.deprecated_call():
-            assert accepted_kwargs(fn_var, {"x": 1, "use_batch": True}) == {"x": 1}
+        for kwargs in ({"use_batch": True}, {"seed": 3}, {"runner": None, "cache": None}):
+            with pytest.raises(TypeError, match="ExecutionContext"):
+                run_experiment("E5", **kwargs)
+        # The error names the ctx= replacement for the offending keyword.
+        with pytest.raises(TypeError, match="backend='vectorized'"):
+            run_experiment("E5", use_batch=True)
 
     def test_run_experiment_rejects_misspelled_parameter(self):
         from repro.experiments.registry import run_experiment
@@ -385,10 +372,6 @@ class TestExperimentIntegration:
         serial = run_experiment("E5", **kwargs)
         batched = run_experiment("E5", ctx=ExecutionContext(backend="vectorized"), **kwargs)
         assert serial.rows == batched.rows
-        # The deprecated keyword spelling still works, with a warning.
-        with pytest.deprecated_call():
-            legacy = run_experiment("E5", use_batch=True, **kwargs)
-        assert legacy.rows == batched.rows
 
 
 # --------------------------------------------------------------------- #

@@ -35,7 +35,7 @@ from repro.core.exceptions import InvalidInstanceError, SolverError
 from repro.core.instance import Instance, Task
 from repro.exec import ExecutionContext
 from repro.exec.shm import attach_batch, publish_batch
-from repro.lp.batch import optimal_values_batch, solve_ordered_relaxation_batch
+from repro.lp.batch import OPTIMAL_METHODS, optimal, optimal_values_batch, solve_ordered_relaxation_batch
 from repro.lp.exact import (
     MAX_BRANCH_AND_BOUND_TASKS,
     _floors_achievable,
@@ -80,8 +80,8 @@ class TestBranchAndBoundMatchesEnumeration:
     @given(instance_batches())
     def test_hypothesis_ragged_batches(self, insts):
         batch = InstanceBatch.from_instances(insts)
-        engine = optimal_values_batch(batch, method="branch-and-bound")
-        reference = optimal_values_batch(batch, method="enumerate")
+        engine = optimal(batch, method="branch-and-bound")
+        reference = optimal(batch, method="enumerate")
         assert np.all(
             times_close(engine.objectives, reference.objectives, rtol=1e-6, atol=1e-8)
         )
@@ -102,8 +102,8 @@ class TestBranchAndBoundMatchesEnumeration:
     def test_up_to_seven_tasks(self, n):
         insts = list(uniform_instances(n, 2, rng=np.random.default_rng(100 + n)))
         batch = InstanceBatch.from_instances(insts)
-        engine = optimal_values_batch(batch, method="branch-and-bound")
-        reference = optimal_values_batch(batch, method="enumerate")
+        engine = optimal(batch, method="branch-and-bound")
+        reference = optimal(batch, method="enumerate")
         np.testing.assert_allclose(engine.objectives, reference.objectives, rtol=1e-6, atol=1e-8)
         assert engine.orderings_evaluated < reference.orderings_evaluated
 
@@ -113,7 +113,7 @@ class TestBranchAndBoundMatchesEnumeration:
         insts.append(next(uniform_instances(2, 1, rng=np.random.default_rng(8))))
         batch = InstanceBatch.from_instances(insts)
         engine = branch_and_bound_optimal_batch(batch, backend=backend)
-        reference = optimal_values_batch(batch, method="enumerate")
+        reference = optimal(batch, method="enumerate")
         np.testing.assert_allclose(engine.objectives, reference.objectives, rtol=1e-6, atol=1e-8)
 
     def test_process_pool_dispatch(self):
@@ -127,8 +127,8 @@ class TestBranchAndBoundMatchesEnumeration:
     def test_chunk_size_is_forwarded_and_lossless(self):
         insts = list(uniform_instances(4, 5, rng=np.random.default_rng(19)))
         batch = InstanceBatch.from_instances(insts)
-        whole = optimal_values_batch(batch, method="branch-and-bound")
-        chunked = optimal_values_batch(batch, method="branch-and-bound", chunk_size=2)
+        whole = optimal(batch, method="branch-and-bound")
+        chunked = optimal(batch, method="branch-and-bound", chunk_size=2)
         np.testing.assert_allclose(whole.objectives, chunked.objectives, rtol=1e-9)
 
     def test_empty_and_single_task_rows(self):
@@ -140,7 +140,7 @@ class TestBranchAndBoundMatchesEnumeration:
             mask=[[True, False], [True, True]],
         )
         engine = branch_and_bound_optimal_batch(batch)
-        reference = optimal_values_batch(batch, method="enumerate")
+        reference = optimal(batch, method="enumerate")
         np.testing.assert_allclose(engine.objectives, reference.objectives, rtol=1e-6)
 
     def test_stats_account_for_the_search(self):
@@ -166,7 +166,7 @@ class TestEngineGuardsAndModes:
         with pytest.raises(SolverError):
             branch_and_bound_optimal_batch(batch, backend="bogus")
         with pytest.raises(SolverError):
-            optimal_values_batch(batch, method="bogus")
+            optimal(batch, method="bogus")
 
     def test_permutation_table_guard_and_cache(self):
         table = permutation_table(4)
@@ -194,14 +194,27 @@ class TestEngineGuardsAndModes:
             achieved = solve_ordered_relaxation(inst, order, build_schedule=False).objective
             assert achieved == pytest.approx(heuristic.objectives[b], rel=1e-6, abs=1e-8)
 
-    def test_lower_bound_batch_exact_routes_to_engine(self):
+    def test_optimal_methods_vocabulary(self):
+        assert set(OPTIMAL_METHODS) == {"branch-and-bound", "enumerate"}
+
+    def test_lower_bound_batch_exact_is_deprecated_but_routes_to_engine(self):
         insts = list(uniform_instances(4, 3, rng=np.random.default_rng(23)))
         batch = InstanceBatch.from_instances(insts)
-        exact = lower_bound_batch(batch, method="exact")
-        reference = optimal_values_batch(batch, method="enumerate").objectives
+        with pytest.deprecated_call(match=r"repro\.lp\.optimal"):
+            exact = lower_bound_batch(batch, method="exact")
+        reference = optimal(batch, method="enumerate").objectives
         np.testing.assert_allclose(exact, reference, rtol=1e-6, atol=1e-8)
         combined = combined_lower_bound_batch(batch)
         assert np.all(combined <= exact + 1e-6 * np.maximum(1.0, exact))
+
+    def test_optimal_values_batch_alias_is_deprecated_but_agrees(self):
+        insts = list(uniform_instances(4, 3, rng=np.random.default_rng(29)))
+        batch = InstanceBatch.from_instances(insts)
+        with pytest.deprecated_call(match=r"repro\.lp\.optimal"):
+            alias = optimal_values_batch(batch, method="enumerate")
+        reference = optimal(batch, method="enumerate")
+        np.testing.assert_allclose(alias.objectives, reference.objectives, rtol=1e-12)
+        assert alias.orderings_evaluated == reference.orderings_evaluated
 
 
 # --------------------------------------------------------------------- #

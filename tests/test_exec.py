@@ -221,20 +221,15 @@ class TestExecutionContext:
         ctx.close()
         assert (target / "results-cache.json").is_file()
 
-    def test_from_legacy_kwargs_translation(self):
-        ctx = ExecutionContext.from_legacy_kwargs(
-            None, {"seed": 3, "paper_scale": True, "use_batch": True}
-        )
-        assert ctx.seed == 3 and ctx.paper_scale and ctx.backend == "vectorized"
-        runner = BatchRunner(workers=2, executor="thread")
-        ctx = ExecutionContext.from_legacy_kwargs(None, {"runner": runner})
-        assert ctx.backend == "process-pool" and ctx.runner is runner
-        cache = ResultCache()
-        ctx = ExecutionContext.from_legacy_kwargs(None, {"cache": cache})
-        assert ctx.cache is cache
-        base = ExecutionContext(seed=1)
-        assert ExecutionContext.from_legacy_kwargs(base, {}) is base
-        runner.close()
+    def test_legacy_kwargs_shim_is_gone(self):
+        # The deprecation cycle is over: the translation classmethod no
+        # longer exists, and the registry refuses the legacy spelling with
+        # a TypeError that names the ctx= replacement.
+        assert not hasattr(ExecutionContext, "from_legacy_kwargs")
+        from repro.experiments.registry import run_experiment
+
+        with pytest.raises(TypeError, match=r"ctx=ExecutionContext\(seed=\.\.\.\)"):
+            run_experiment("E5", seed=3)
 
 
 class TestContextDrivesExperiments:

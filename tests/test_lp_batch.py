@@ -10,7 +10,7 @@ Every vectorized path is pinned against its scalar reference:
   :func:`repro.lp.interface.solve_ordered_relaxation` per instance, on
   Hypothesis-generated ragged padded batches, including degenerate
   orderings far from optimal and single-task rows;
-* :func:`repro.lp.batch.optimal_values_batch` against the brute-force
+* :func:`repro.lp.optimal` against the brute-force
   :func:`repro.algorithms.optimal.optimal_value`.
 """
 
@@ -32,7 +32,7 @@ from repro.exec import ExecutionContext
 from repro.lp.batch import (
     build_ordered_lp_batch,
     normalize_orders,
-    optimal_values_batch,
+    optimal,
     smith_orders_batch,
     solve_ordered_relaxation_batch,
 )
@@ -392,12 +392,12 @@ class TestOrderedRelaxationDifferential:
 # --------------------------------------------------------------------- #
 
 
-class TestOptimalValuesBatch:
+class TestOptimal:
     @settings(max_examples=8, deadline=None)
     @given(instance_batches(max_batch=3))
     def test_matches_bruteforce_optimal(self, insts):
         batch = InstanceBatch.from_instances(insts)
-        result = optimal_values_batch(batch)
+        result = optimal(batch)
         for b, inst in enumerate(insts):
             ref = optimal_value(inst)
             assert times_close(result.objectives[b], ref, rtol=1e-6, atol=1e-8)
@@ -409,7 +409,7 @@ class TestOptimalValuesBatch:
             )
         ]
         batch = InstanceBatch.from_instances(insts)
-        result = optimal_values_batch(batch)
+        result = optimal(batch)
         order = [int(t) for t in result.orders[0, : insts[0].n]]
         achieved = solve_ordered_relaxation(insts[0], order, build_schedule=False).objective
         assert achieved == pytest.approx(result.objectives[0], rel=1e-7)
@@ -417,7 +417,7 @@ class TestOptimalValuesBatch:
     def test_task_guard(self):
         batch = InstanceBatch.from_instances([Instance.from_arrays(P=1.0, volumes=[1.0] * 8)])
         with pytest.raises(InvalidInstanceError):
-            optimal_values_batch(batch, max_tasks=7)
+            optimal(batch, max_tasks=7)
 
     def test_chunking_is_lossless(self):
         rng = np.random.default_rng(5)
@@ -425,8 +425,8 @@ class TestOptimalValuesBatch:
             Instance.from_arrays(P=2.0, volumes=rng.uniform(0.5, 2.0, size=4)) for _ in range(5)
         ]
         batch = InstanceBatch.from_instances(insts)
-        whole = optimal_values_batch(batch, method="enumerate")
-        chunked = optimal_values_batch(batch, method="enumerate", chunk_size=24)  # one row per chunk
+        whole = optimal(batch, method="enumerate")
+        chunked = optimal(batch, method="enumerate", chunk_size=24)  # one row per chunk
         np.testing.assert_allclose(whole.objectives, chunked.objectives, rtol=1e-9)
         assert whole.orderings_evaluated == chunked.orderings_evaluated == 5 * 24
 
@@ -437,7 +437,8 @@ class TestLowerBoundBatch:
     def test_exact_dominates_combined(self, insts):
         batch = InstanceBatch.from_instances(insts)
         combined = lower_bound_batch(batch, method="combined")
-        exact = lower_bound_batch(batch, method="exact")
+        with pytest.deprecated_call(match=r"repro\.lp\.optimal"):
+            exact = lower_bound_batch(batch, method="exact")
         np.testing.assert_allclose(combined, combined_lower_bound_batch(batch))
         assert np.all(time_leq(combined, exact, rtol=1e-6, atol=1e-8))
 

@@ -37,9 +37,27 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
         "repro.lp.exact — the exact-OPT engine",
         "Branch-and-bound over completion suffixes: closed-form density "
         "floors, feasibility-certified leaves and lockstep LP evaluation "
-        "replace the `n!` ordering enumeration behind "
-        "`optimal_values_batch` and `lower_bound_batch(method='exact')`.",
+        "replace the `n!` ordering enumeration behind `repro.lp.optimal`.",
         ["repro.lp.exact"],
+    ),
+    "facade.md": (
+        "repro.api — the stable facade",
+        "The typed request/reply messages shared by the wire protocol, the "
+        "service client and in-process callers — one schema, three "
+        "transports — plus the lazily re-exported blessed entry points of "
+        "the top-level `repro` package.",
+        ["repro.api"],
+    ),
+    "service.md": (
+        "repro.service — the online scheduling service",
+        "`malleable-repro serve`: an asyncio TCP server speaking "
+        "newline-delimited JSON (with HTTP `/metrics` and `/health` on the "
+        "same port) over an **incrementally advanced** live simulation — "
+        "queries resume from the current virtual time instead of replaying "
+        "history from `t = 0`.",
+        ["repro.service.state", "repro.service.server", "repro.service.client",
+         "repro.service.loadgen", "repro.service.ratelimit", "repro.service.metrics",
+         "repro.service.protocol"],
     ),
     "batch.md": (
         "repro.batch — vectorized substrate",
