@@ -22,7 +22,14 @@ __all__ = ["best_of", "calibrate", "write_payload"]
 
 
 def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
-    """Best-of-``repeats`` wall-clock time of ``fn`` in seconds."""
+    """Best-of-``repeats`` wall-clock time of ``fn`` in seconds.
+
+    Convention: every measurement starts with one *untimed* warm-up call, so
+    one-time costs — numba JIT compilation of the compiled kernel tier, lazy
+    module imports, allocator warm-up — never land in the recorded best.
+    Benchmarks that want cold-start numbers must time it themselves.
+    """
+    fn()
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.perf_counter()

@@ -1,0 +1,102 @@
+"""The optional compiled kernel tier (numba JIT backends).
+
+The lockstep NumPy kernels of :mod:`repro.batch.sim_kernels` and
+:mod:`repro.lp.simplex` pay Python-interpreter cost once per *event round* /
+*pivot round*.  This package removes that remaining overhead for the two
+hottest primitives by compiling the whole loop to machine code with numba:
+
+* :mod:`repro.batch.compiled.sim_loop` — a nopython event-loop core for
+  `advance_simulation_state` covering the built-in wdeq/deq/fair-share/
+  priority policies in completion-times-only mode (trace recording stays on
+  the NumPy path);
+* :mod:`repro.batch.compiled.lp_pivot` — a nopython Bland pivot driver for
+  the batched two-phase simplex of `solve_linear_program_batch`.
+
+numba is an *optional* dependency (the ``compiled`` extra:
+``pip install malleable-repro[compiled]``).  Everything in this package
+imports without it; :func:`resolve_kernel` degrades a ``'compiled'``
+selection to ``'numpy'`` with a one-time warning, and ``'auto'`` picks the
+compiled tier exactly when numba is importable.  Conformance is the
+contract: at float64 the compiled kernels reproduce the NumPy kernels
+trajectory-for-trajectory (the differential suites in
+``tests/test_sim_batch.py`` / ``tests/test_lp_batch.py`` run parametrized
+over both kernels); the ``float32`` precision mode trades tolerance for
+throughput and is validated against widened bounds only.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import warnings
+
+__all__ = [
+    "KERNELS",
+    "PRECISIONS",
+    "DEFAULT_ATOLS",
+    "NUMBA_AVAILABLE",
+    "numba_available",
+    "resolve_kernel",
+    "reset_fallback_warning",
+]
+
+#: The recognised kernel selections.  ``auto`` resolves to ``compiled`` when
+#: numba is importable and ``numpy`` otherwise; ``numpy`` / ``compiled`` pin
+#: a tier (``compiled`` falls back to ``numpy`` with a one-time warning when
+#: numba is missing).
+KERNELS = ("auto", "numpy", "compiled")
+
+#: The recognised precision modes.  ``float64`` is the conformance mode (the
+#: compiled kernels must match the NumPy kernels); ``float32`` is the
+#: throughput mode with widened tolerances.
+PRECISIONS = ("float64", "float32")
+
+#: Default completion-detection tolerance of the simulation engine per
+#: precision mode.  float32 resolves ~7 significant digits, so the float64
+#: default of ``1e-10`` would be pure noise there.
+DEFAULT_ATOLS = {"float64": 1e-10, "float32": 1e-5}
+
+#: True when the numba package is importable.  Module-level so tests can
+#: monkeypatch the availability (the accessor :func:`numba_available` reads
+#: this attribute on every call).
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+_warned_fallback = False
+
+
+def numba_available() -> bool:
+    """Whether the compiled tier can actually run (numba is importable)."""
+    return NUMBA_AVAILABLE
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the one-time ``compiled -> numpy`` fallback warning (tests)."""
+    global _warned_fallback
+    _warned_fallback = False
+
+
+def resolve_kernel(selection: str) -> str:
+    """Resolve a kernel selection to the concrete tier: ``numpy`` or ``compiled``.
+
+    ``auto`` picks ``compiled`` exactly when numba is importable.  An explicit
+    ``compiled`` without numba degrades to ``numpy`` and emits a single
+    :class:`RuntimeWarning` for the whole process (repeating it once per
+    event round would drown a sweep in noise); unknown selections raise
+    :class:`ValueError`.
+    """
+    if selection not in KERNELS:
+        raise ValueError(f"unknown kernel {selection!r}; expected one of {KERNELS}")
+    if selection == "auto":
+        return "compiled" if numba_available() else "numpy"
+    if selection == "compiled" and not numba_available():
+        global _warned_fallback
+        if not _warned_fallback:
+            warnings.warn(
+                "kernel='compiled' requested but numba is not installed; "
+                "falling back to the NumPy kernels "
+                "(install the compiled tier with: pip install 'malleable-repro[compiled]')",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_fallback = True
+        return "numpy"
+    return selection

@@ -1,0 +1,144 @@
+"""Compiled Bland pivot driver for the batched two-phase simplex.
+
+The NumPy `_simplex_core_batch` runs its pivot loop, mask bookkeeping and
+periodic exact-refresh of the reduced costs as per-iteration Python; this
+module compiles the whole drive-to-termination of a compacted ``(k, m, v)``
+tableau stack into one nopython call.
+
+Problems are pivoted independently (the lockstep compaction exists only to
+amortise Python overhead, which compiled code does not pay), and the reduced
+costs are computed *exactly* on every iteration — the incremental rank-1
+update of the NumPy path is a Python-overhead optimisation that compiled
+code does not need either.  Pivot selection is Bland's rule with the same
+tolerances as the scalar :func:`repro.lp.simplex._simplex_core`: entering
+variable is the smallest-index column with reduced cost below ``-eps``;
+leaving row is, among rows within ``tie_tol`` of the minimum ratio, the one
+whose basic variable has the smallest index.
+
+As in :mod:`repro.batch.compiled.sim_loop`, the loop body is plain scalar
+Python: numba jits it lazily when importable, and the interpreter runs the
+identical function otherwise (which keeps the logic differentially testable
+without numba).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.batch.compiled import numba_available
+
+__all__ = ["STATUS_OPTIMAL", "STATUS_UNBOUNDED", "pivot_all"]
+
+#: Terminal status codes written per problem by :func:`pivot_all`.
+STATUS_OPTIMAL = 1
+STATUS_UNBOUNDED = 2
+
+
+def _pivot_all(T, b, basis, cost, blocked, statuses, iterations, max_iterations, eps, tie_tol):
+    """Pivot every problem of the stack to termination, in place.
+
+    ``T`` is ``(k, m, v)``, ``b``/``basis`` are ``(k, m)``, ``cost`` is
+    ``(k, v)`` and ``blocked`` a shared ``(v,)`` column mask.  Writes
+    :data:`STATUS_OPTIMAL` / :data:`STATUS_UNBOUNDED` into ``statuses`` and
+    the per-problem pivot count into ``iterations``; returns the index of
+    the first problem to exceed ``max_iterations`` pivots, or ``-1``.
+    """
+    k, m, v = T.shape
+    for p in range(k):
+        pivots = 0
+        while True:
+            if pivots >= max_iterations:
+                return p
+            # Bland's entering rule wants the smallest-index candidate, so
+            # reduced costs are evaluated column by column and the scan stops
+            # at the first one below the threshold.
+            enter = -1
+            for j in range(v):
+                if blocked[j]:
+                    continue
+                rc = cost[p, j]
+                for r in range(m):
+                    rc -= cost[p, basis[p, r]] * T[p, r, j]
+                if rc < -eps:
+                    enter = j
+                    break
+            if enter < 0:
+                statuses[p] = STATUS_OPTIMAL
+                break
+            best = np.inf
+            for r in range(m):
+                if T[p, r, enter] > eps:
+                    ratio = b[p, r] / T[p, r, enter]
+                    if ratio < best:
+                        best = ratio
+            if not np.isfinite(best):
+                statuses[p] = STATUS_UNBOUNDED
+                break
+            leave = -1
+            leave_basis = np.iinfo(np.int64).max
+            for r in range(m):
+                if T[p, r, enter] > eps:
+                    ratio = b[p, r] / T[p, r, enter]
+                    diff = ratio - best
+                    if diff < 0.0:
+                        diff = -diff
+                    if diff <= tie_tol and basis[p, r] < leave_basis:
+                        leave_basis = basis[p, r]
+                        leave = r
+            pivot_val = T[p, leave, enter]
+            for j in range(v):
+                T[p, leave, j] = T[p, leave, j] / pivot_val
+            b[p, leave] = b[p, leave] / pivot_val
+            for r in range(m):
+                if r != leave:
+                    factor = T[p, r, enter]
+                    if factor != 0.0:
+                        for j in range(v):
+                            T[p, r, j] = T[p, r, j] - factor * T[p, leave, j]
+                        br = b[p, r] - factor * b[p, leave]
+                        # Degenerate pivots can leave -1e-17 dust (the NumPy
+                        # path clamps the whole rhs after every pivot).
+                        b[p, r] = br if br > 0.0 else 0.0
+            basis[p, leave] = enter
+            pivots += 1
+            iterations[p] += 1
+    return -1
+
+
+_jit_pivot_all: "Callable[..., Any] | None" = None
+
+
+def _get_pivot_all() -> "Callable[..., Any]":
+    """The jitted driver when numba is importable, the plain one otherwise."""
+    global _jit_pivot_all
+    if _jit_pivot_all is None:
+        if numba_available():
+            try:
+                import numba
+
+                _jit_pivot_all = numba.njit(cache=True)(_pivot_all)
+            except ImportError:  # availability monkeypatched in tests
+                _jit_pivot_all = _pivot_all
+        else:
+            _jit_pivot_all = _pivot_all
+    return _jit_pivot_all
+
+
+def pivot_all(
+    T: np.ndarray,
+    b: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    blocked: np.ndarray,
+    statuses: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int,
+    eps: float,
+    tie_tol: float,
+) -> int:
+    """Entry point used by `_simplex_core_batch`; see :func:`_pivot_all`."""
+    return _get_pivot_all()(
+        T, b, basis, cost, blocked, statuses, iterations, int(max_iterations), float(eps), float(tie_tol)
+    )

@@ -1,0 +1,387 @@
+"""Compiled event-loop core for the batched discrete-event simulation.
+
+The lockstep NumPy engine (:func:`repro.batch.sim_kernels.advance_simulation_state`)
+re-enters the interpreter once per event round; this module compiles the
+*whole* loop — allocation rule, next-event computation, completion and
+release handling — into a single nopython function that advances every row
+to completion (or its horizon) in one call.
+
+The kernel iterates rows independently rather than in lockstep.  That is an
+exact transformation: in the NumPy engine every per-row quantity (``dt``,
+the active set, the rescue path) is computed from that row alone, so the
+per-row trajectory — and the per-row event count — is identical either way;
+only the loop nesting changes.  The four built-in policies (WDEQ, DEQ,
+cap-less fair share, fixed priority) are compiled in as integer-dispatched
+allocation rules; custom :class:`~repro.batch.sim_kernels.BatchPolicy`
+subclasses and trace recording stay on the NumPy path (the engine falls back
+silently — see ``advance_simulation_state``).
+
+The loop body is written as plain scalar Python so that:
+
+* numba jits it unchanged (lazily, on first use, cached on disk), and
+* without numba the *same function object* still runs under the interpreter,
+  which is how the differential tests pin the compiled-tier logic against
+  the NumPy engine even on machines where numba is absent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.batch.compiled import numba_available
+from repro.core.exceptions import InvalidInstanceError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.batch.sim_kernels import BatchPolicy, BatchSimulationState
+
+__all__ = [
+    "POLICY_IDS",
+    "policy_dispatch",
+    "advance_state_compiled",
+]
+
+#: Integer dispatch codes for the built-in policies (class name -> id).
+POLICY_IDS = {
+    "WdeqBatchPolicy": 0,
+    "DeqBatchPolicy": 1,
+    "FairShareNoCapBatchPolicy": 2,
+    "PriorityBatchPolicy": 3,
+}
+
+# Error codes returned from nopython land (exceptions cannot carry the
+# formatted messages the NumPy engine raises, so the Python wrapper maps
+# codes back to the identical exception types and texts).
+_OK = 0
+_ERR_MAX_EVENTS = 1
+_ERR_STALLED = 2
+_ERR_WDEQ_WEIGHTS = 3
+_ERR_FAIRSHARE_WEIGHTS = 4
+_ERR_NEGATIVE_RATE = 5
+
+
+def _advance_rows(
+    P,
+    weights,
+    deltas,
+    mask,
+    releases,
+    remaining,
+    work_done,
+    completed,
+    released,
+    completion_times,
+    num_events,
+    t,
+    finish_tol,
+    horizon,
+    atol,
+    max_events,
+    policy_id,
+    policy_params,
+    policy_atol,
+):
+    """Advance every row to completion/horizon; returns ``(code, row)``.
+
+    Mutates the state arrays in place exactly as one full run of the NumPy
+    engine's lockstep loop would.  ``policy_params`` carries the per-task
+    policy data (the priorities for the priority policy; ignored otherwise)
+    and ``policy_atol`` the policy's own tolerance (the WDEQ/DEQ clamping
+    tolerance).  On error, ``row`` is the offending batch row.
+    """
+    B, N = weights.shape
+    rates = np.zeros(N)
+    finish_in = np.zeros(N)
+    act = np.zeros(N, dtype=np.bool_)
+    pool = np.zeros(N, dtype=np.bool_)
+    order = np.zeros(N, dtype=np.int64)
+    for b in range(B):
+        Pb = float(P[b])
+        iterations = 0
+        while True:
+            row_done = True
+            for i in range(N):
+                if mask[b, i] and not completed[b, i]:
+                    row_done = False
+                    break
+            if row_done or not (t[b] < horizon[b]):
+                break
+            iterations += 1
+            if iterations > max_events:
+                return _ERR_MAX_EVENTS, b
+
+            # Active set and the next pending release of this row.
+            has_active = False
+            next_release = np.inf
+            for i in range(N):
+                if mask[b, i]:
+                    if released[b, i]:
+                        if not completed[b, i]:
+                            has_active = True
+                    elif releases[b, i] < next_release:
+                        next_release = releases[b, i]
+
+            # ---- allocation (integer-dispatched built-in policies) ---- #
+            for i in range(N):
+                rates[i] = 0.0
+                act[i] = released[b, i] and (not completed[b, i]) and mask[b, i]
+            if policy_id == 0 or policy_id == 1:
+                # WDEQ (Algorithm 1); DEQ is WDEQ with unit weights.  The
+                # clamping loop shrinks its own working pool, so it runs on a
+                # copy of the active mask.
+                rem_W = 0.0
+                for i in range(N):
+                    pool[i] = act[i]
+                    if act[i]:
+                        w = weights[b, i] if policy_id == 0 else 1.0
+                        if policy_id == 0 and w <= 0.0:
+                            return _ERR_WDEQ_WEIGHTS, b
+                        rem_W += w
+                rem_P = Pb
+                for _ in range(N + 1):
+                    any_pooled = False
+                    for i in range(N):
+                        if pool[i]:
+                            any_pooled = True
+                            break
+                    if rem_W <= policy_atol or rem_P <= policy_atol or not any_pooled:
+                        break
+                    ratio = rem_P / rem_W
+                    any_capped = False
+                    for i in range(N):
+                        if pool[i]:
+                            w = weights[b, i] if policy_id == 0 else 1.0
+                            if deltas[b, i] < w * ratio - policy_atol:
+                                any_capped = True
+                                rates[i] = deltas[b, i]
+                                rem_P -= deltas[b, i]
+                                rem_W -= w
+                                pool[i] = False
+                    if not any_capped:
+                        for i in range(N):
+                            if pool[i]:
+                                w = weights[b, i] if policy_id == 0 else 1.0
+                                rates[i] = w * ratio
+                        break
+                    if rem_P < 0.0:
+                        rem_P = 0.0
+            elif policy_id == 2:
+                # Cap-less weighted fair share, clamped to the caps.
+                total = 0.0
+                for i in range(N):
+                    if act[i]:
+                        total += weights[b, i]
+                if has_active and total <= 0.0:
+                    return _ERR_FAIRSHARE_WEIGHTS, b
+                if total > 0.0:
+                    for i in range(N):
+                        if act[i]:
+                            share = weights[b, i] * (Pb / total)
+                            rates[i] = share if share < deltas[b, i] else deltas[b, i]
+            else:
+                # Fixed priority: serve active tasks by descending priority
+                # (ties by ascending task index), each at its cap while
+                # capacity lasts.  Insertion sort keeps the stable tie-break.
+                count = 0
+                for i in range(N):
+                    if act[i]:
+                        order[count] = i
+                        count += 1
+                for a in range(1, count):
+                    key = order[a]
+                    kp = policy_params[b, key]
+                    j = a - 1
+                    while j >= 0 and policy_params[b, order[j]] < kp:
+                        order[j + 1] = order[j]
+                        j -= 1
+                    order[j + 1] = key
+                left = Pb
+                for pos in range(count):
+                    i = order[pos]
+                    d = deltas[b, i]
+                    share = left
+                    if share < 0.0:
+                        share = 0.0
+                    if share > d:
+                        share = d
+                    rates[i] = share
+                    left -= d
+            # Engine-side validation and clamp (the NumPy engine rejects
+            # negative rates, then clips every policy output to [0, delta]).
+            for i in range(N):
+                if act[i]:
+                    r = rates[i]
+                    if r < -atol:
+                        return _ERR_NEGATIVE_RATE, b
+                    if r < 0.0:
+                        r = 0.0
+                    d = deltas[b, i]
+                    if r > d:
+                        r = d
+                    rates[i] = r
+
+            # ---- next event ---- #
+            dt_completion = np.inf
+            for i in range(N):
+                finish_in[i] = np.inf
+                if act[i] and rates[i] > atol:
+                    denom = rates[i] if rates[i] > atol else atol
+                    fi = remaining[b, i] / denom
+                    finish_in[i] = fi
+                    if fi < dt_completion:
+                        dt_completion = fi
+            dt_release = next_release - t[b] if np.isfinite(next_release) else np.inf
+            dt_horizon = horizon[b] - t[b] if np.isfinite(horizon[b]) else np.inf
+            dt = dt_completion if dt_completion < dt_release else dt_release
+            bound = dt if dt < dt_horizon else dt_horizon
+            if has_active and not np.isfinite(bound):
+                return _ERR_STALLED, b
+            if dt_horizon < dt:
+                dt = dt_horizon
+            if dt < 0.0:
+                dt = 0.0
+
+            num_events[b] += 1
+            t[b] = t[b] + dt
+            for i in range(N):
+                if act[i]:
+                    progressed = rates[i] * dt
+                    work_done[b, i] += progressed
+                    rem = remaining[b, i] - progressed
+                    remaining[b, i] = rem if rem > 0.0 else 0.0
+
+            # ---- completions (with the numerical-rescue path) ---- #
+            any_finished = False
+            for i in range(N):
+                if act[i] and remaining[b, i] <= finish_tol[b, i]:
+                    any_finished = True
+                    break
+            if (
+                has_active
+                and not any_finished
+                and dt_completion <= dt_release
+                and dt_completion <= dt_horizon
+            ):
+                winner = 0
+                best = np.inf
+                for i in range(N):
+                    if finish_in[i] < best:
+                        best = finish_in[i]
+                        winner = i
+                remaining[b, winner] = 0.0
+            for i in range(N):
+                if act[i] and remaining[b, i] <= finish_tol[b, i]:
+                    completion_times[b, i] = t[b]
+                    completed[b, i] = True
+
+            # ---- releases ---- #
+            for i in range(N):
+                if mask[b, i] and not released[b, i] and releases[b, i] <= t[b] + atol:
+                    released[b, i] = True
+    return _OK, -1
+
+
+_jit_advance_rows: "Callable[..., Any] | None" = None
+
+
+def _get_advance_rows() -> "Callable[..., Any]":
+    """The jitted loop when numba is importable, the plain one otherwise."""
+    global _jit_advance_rows
+    if _jit_advance_rows is None:
+        if numba_available():
+            try:
+                import numba
+
+                _jit_advance_rows = numba.njit(cache=True)(_advance_rows)
+            except ImportError:  # availability monkeypatched in tests
+                _jit_advance_rows = _advance_rows
+        else:
+            _jit_advance_rows = _advance_rows
+    return _jit_advance_rows
+
+
+def policy_dispatch(policy: "BatchPolicy") -> "tuple[int, float] | None":
+    """``(policy_id, policy_atol)`` when the policy has a compiled rule.
+
+    Only the *exact* built-in classes dispatch — a subclass may override
+    ``allocate``, so it must keep using the NumPy path.
+    """
+    policy_id = POLICY_IDS.get(type(policy).__name__)
+    if policy_id is None:
+        return None
+    from repro.batch import sim_kernels
+
+    if type(policy) is not getattr(sim_kernels, type(policy).__name__):
+        return None  # same name, different class: no dispatch
+    policy_atol = float(getattr(policy, "atol", 0.0))
+    return policy_id, policy_atol
+
+
+def advance_state_compiled(
+    state: "BatchSimulationState",
+    policy: "BatchPolicy",
+    horizon: np.ndarray,
+    max_events: int,
+) -> bool:
+    """Advance ``state`` through the compiled core; False when unsupported.
+
+    Supported means: no trace recording and one of the built-in policies.
+    Unsupported combinations return ``False`` without touching the state so
+    the caller can fall back to the NumPy loop.  Policy violations raise the
+    same exception types and messages as the NumPy engine.
+    """
+    if state.traces is not None:
+        return False
+    dispatch = policy_dispatch(policy)
+    if dispatch is None:
+        return False
+    policy_id, policy_atol = dispatch
+    batch = state.batch
+    B, N = batch.volumes.shape
+    if policy_id == POLICY_IDS["PriorityBatchPolicy"]:
+        params = np.ascontiguousarray(
+            np.broadcast_to(np.asarray(policy.priorities, dtype=float), (B, N))
+        )
+    else:
+        params = np.zeros((B, N))
+    code, row = _get_advance_rows()(
+        np.asarray(batch.P, dtype=float),
+        batch.weights,
+        batch.deltas,
+        batch.mask,
+        state.releases,
+        state.remaining,
+        state.work_done,
+        state.completed,
+        state.released,
+        state.completion_times,
+        state.num_events,
+        state.t,
+        state.finish_tol,
+        horizon,
+        float(state.atol),
+        int(max_events),
+        policy_id,
+        params,
+        policy_atol,
+    )
+    if code == _ERR_MAX_EVENTS:
+        raise SimulationError(
+            f"batched simulation exceeded {max_events} events per row; "
+            "the policy is likely stalling"
+        )
+    if code == _ERR_STALLED:
+        raise SimulationError(
+            f"policy {policy.name!r} stalled in batch row {row}: "
+            "no active task receives processors"
+        )
+    if code == _ERR_WDEQ_WEIGHTS:
+        raise InvalidInstanceError("WDEQ requires strictly positive weights")
+    if code == _ERR_FAIRSHARE_WEIGHTS:
+        raise SimulationError("FairShareNoCapBatchPolicy requires positive weights")
+    if code == _ERR_NEGATIVE_RATE:
+        raise SimulationError(
+            f"policy {policy.name!r} returned a negative rate in batch row {row}"
+        )
+    return True

@@ -46,6 +46,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.batch.compiled import DEFAULT_ATOLS, PRECISIONS, resolve_kernel
 from repro.batch.kernels import _wdeq_allocation_batch, combined_lower_bound_batch
 from repro.core.batch import InstanceBatch
 from repro.core.exceptions import InvalidInstanceError, SimulationError
@@ -361,10 +362,10 @@ def init_simulation_state(
         atol=atol,
         t=np.zeros(B),
         remaining=np.where(mask, volumes, 0.0),
-        work_done=np.zeros((B, N)),
+        work_done=np.zeros((B, N), dtype=volumes.dtype),
         completed=~mask,  # padding slots never participate
         released=released,
-        completion_times=np.zeros((B, N)),
+        completion_times=np.zeros((B, N), dtype=volumes.dtype),
         num_events=np.zeros(B, dtype=int),
         finish_tol=atol * np.maximum(1.0, volumes),
         traces=traces,
@@ -376,6 +377,7 @@ def advance_simulation_state(
     policy: BatchPolicy,
     until: "np.ndarray | float | None" = None,
     max_events: int | None = None,
+    kernel: str = "numpy",
 ) -> BatchSimulationState:
     """Advance every live row of ``state`` under ``policy``, in place.
 
@@ -396,6 +398,15 @@ def advance_simulation_state(
         Safety bound on the number of lockstep iterations *of this call*
         (each iteration is one event of every live row); default
         ``8 n_max + 16``, the scalar per-instance bound.
+    kernel:
+        Which tier runs the event loop, one of
+        :data:`repro.batch.compiled.KERNELS`.  ``compiled`` (or an ``auto``
+        that resolves to it) dispatches to the numba core of
+        :mod:`repro.batch.compiled.sim_loop` when the call is eligible —
+        no trace recording and one of the four built-in policies; anything
+        else silently uses the NumPy loop, which stays the reference
+        implementation.  The trajectories are identical either way (the
+        differential tests run both).
 
     Raises
     ------
@@ -424,6 +435,14 @@ def advance_simulation_state(
         horizon = np.full(B, np.inf)
     else:
         horizon = np.broadcast_to(np.asarray(until, dtype=float), (B,))
+
+    if resolve_kernel(kernel) == "compiled":
+        from repro.batch.compiled.sim_loop import advance_state_compiled
+
+        if advance_state_compiled(
+            state, policy, np.ascontiguousarray(horizon, dtype=float), max_events
+        ):
+            return state
 
     iterations = 0
     while True:
@@ -476,10 +495,23 @@ def advance_simulation_state(
         dt = np.where(live, np.maximum(dt, 0.0), 0.0)
 
         if record_trace and traces is not None:
+            # One nonzero over the whole batch instead of one per row: the
+            # (row, task) pairs come out row-major, so slicing the flat
+            # arrays at the row boundaries yields each advancing row's
+            # allocation map without any per-row array scans.
             advancing = live & has_active
-            for b in np.nonzero(advancing)[0]:
-                alloc = {int(i): float(rates[b, i]) for i in np.nonzero(active[b])[0]}
-                traces[int(b)].record_reshare(ReshareEvent(time=float(t[b]), allocation=alloc))
+            rows, cols = np.nonzero(active & advancing[:, None])
+            if rows.size:
+                flat_rates = rates[rows, cols].tolist()
+                flat_cols = cols.tolist()
+                boundaries = np.flatnonzero(np.diff(rows)) + 1
+                for lo, hi in zip(
+                    np.concatenate(([0], boundaries)).tolist(),
+                    np.concatenate((boundaries, [rows.size])).tolist(),
+                ):
+                    b = int(rows[lo])
+                    alloc = dict(zip(flat_cols[lo:hi], flat_rates[lo:hi]))
+                    traces[b].record_reshare(ReshareEvent(time=float(t[b]), allocation=alloc))
 
         state.num_events += live.astype(int)
         t += dt
@@ -504,7 +536,7 @@ def advance_simulation_state(
             forced = np.nonzero(none_done)[0]
             finished[forced, winner[forced]] = True
             remaining[forced, winner[forced]] = 0.0
-        completion_times[finished] = np.broadcast_to(t[:, None], (B, N))[finished]
+        np.copyto(completion_times, np.broadcast_to(t[:, None], (B, N)), where=finished)
         completed |= finished
 
         newly_released = pending & (releases <= t[:, None] + atol)
@@ -523,9 +555,11 @@ def simulate_batch(
     batch: InstanceBatch,
     policy: BatchPolicy,
     release_times: np.ndarray | None = None,
-    atol: float = 1e-10,
+    atol: float | None = None,
     max_events: int | None = None,
     record_trace: bool = False,
+    kernel: str = "numpy",
+    precision: str = "float64",
 ) -> BatchSimulationResult:
     """Run an online policy on every instance of the batch in lockstep.
 
@@ -543,8 +577,10 @@ def simulate_batch(
         Optional ``(B, n_max)`` release time per task (default: all zero,
         the setting of the paper).  Padding slots are ignored.
     atol:
-        Numerical tolerance for completion detection (matches the scalar
-        engine's default).
+        Numerical tolerance for completion detection.  ``None`` (the
+        default) resolves per precision mode through
+        :data:`repro.batch.compiled.DEFAULT_ATOLS` — ``1e-10`` at float64,
+        matching the scalar engine's default.
     max_events:
         Safety bound on the number of lockstep iterations (each iteration is
         one event of every live row); default ``8 n_max + 16``, the scalar
@@ -554,6 +590,15 @@ def simulate_batch(
         :class:`~repro.simulation.events.SimulationTrace` identical to the
         scalar engine's (used by the equivalence tests; costs a Python loop
         over rows per iteration, so leave it off in benchmarks).
+    kernel:
+        The event-loop tier, forwarded to :func:`advance_simulation_state`
+        (``numpy``, ``compiled``, or ``auto``).
+    precision:
+        ``float64`` (conformance mode, the default) or ``float32``: the
+        throughput mode casts the batch's task arrays — and therefore the
+        whole per-event arithmetic — to ``float32`` and widens the default
+        completion tolerance accordingly.  Use it for throughput-bound
+        sweeps where ~7 significant digits of the completion times suffice.
 
     Raises
     ------
@@ -562,10 +607,16 @@ def simulate_batch(
         (an active task set makes no progress with no release pending), or
         the event bound is hit.
     """
+    if precision not in PRECISIONS:
+        raise ValueError(f"unknown precision {precision!r}; expected one of {PRECISIONS}")
+    if atol is None:
+        atol = DEFAULT_ATOLS[precision]
+    if precision == "float32":
+        batch = batch.astype(np.float32)
     state = init_simulation_state(
         batch, release_times=release_times, atol=atol, record_trace=record_trace
     )
-    advance_simulation_state(state, policy, until=None, max_events=max_events)
+    advance_simulation_state(state, policy, until=None, max_events=max_events, kernel=kernel)
     return state.result(policy.name)
 
 

@@ -44,9 +44,10 @@ from typing import Any, Callable, Iterable, Mapping
 import numpy as np
 
 from repro.batch.cache import ResultCache, cache_key
+from repro.batch.compiled import KERNELS, PRECISIONS, resolve_kernel
 from repro.batch.runner import BatchRunner
 
-__all__ = ["BACKENDS", "LP_BACKENDS", "ExecutionContext"]
+__all__ = ["BACKENDS", "LP_BACKENDS", "KERNELS", "PRECISIONS", "ExecutionContext"]
 
 #: The recognised execution backends.
 BACKENDS = ("serial", "vectorized", "process-pool")
@@ -112,6 +113,19 @@ class ExecutionContext:
         neither switching ``--lp-backend`` nor an ``auto`` that resolves
         differently across backends can return results computed by another
         solver.
+    kernel:
+        Which tier runs the hot numeric loops, one of
+        :data:`repro.batch.compiled.KERNELS`.  The default ``"auto"``
+        resolves to the numba-compiled kernels of
+        :mod:`repro.batch.compiled` when numba is importable and to the
+        NumPy kernels otherwise; ``"compiled"`` pins the compiled tier
+        (falling back to NumPy with a one-time warning when numba is
+        missing).  Like the LP backend, the *resolved* kernel is part of
+        every :meth:`cached` key.
+    precision:
+        ``"float64"`` (default) or ``"float32"`` — the float32 throughput
+        mode of the batched simulation and LP kernels, with widened
+        numerical tolerances.  Also part of every :meth:`cached` key.
 
     Examples
     --------
@@ -131,6 +145,8 @@ class ExecutionContext:
     cache: ResultCache | None = None
     lp_backend: str = "auto"
     shm: bool = False
+    kernel: str = "auto"
+    precision: str = "float64"
     _owns_runner: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -141,6 +157,14 @@ class ExecutionContext:
         if self.lp_backend not in LP_BACKENDS:
             raise ValueError(
                 f"unknown LP backend {self.lp_backend!r}; expected one of {LP_BACKENDS}"
+            )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; expected one of {PRECISIONS}"
             )
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
@@ -173,6 +197,8 @@ class ExecutionContext:
         cache_dir: str | os.PathLike | None = None,
         lp_backend: str = "auto",
         shm: bool = False,
+        kernel: str = "auto",
+        precision: str = "float64",
     ) -> "ExecutionContext":
         """Build a context from CLI-style flags.
 
@@ -183,7 +209,9 @@ class ExecutionContext:
         ``<cache_dir>/results-cache.json`` (created on demand, reloaded on
         the next invocation, saved by :meth:`close`); ``--lp-backend``
         selects the LP solver (see :data:`LP_BACKENDS`); ``--shm`` switches
-        the pool's batch maps onto the shared-memory transport.
+        the pool's batch maps onto the shared-memory transport;
+        ``--kernel`` / ``--precision`` select the numeric tier of the hot
+        loops (see :data:`KERNELS` and :data:`PRECISIONS`).
         """
         if batch:
             backend = "vectorized"
@@ -203,6 +231,8 @@ class ExecutionContext:
             cache=cache,
             lp_backend=lp_backend,
             shm=shm,
+            kernel=kernel,
+            precision=precision,
         )
 
     # ------------------------------------------------------------------ #
@@ -242,6 +272,16 @@ class ExecutionContext:
             return "batch" if self.vectorized else "scipy"
         return self.lp_backend
 
+    def resolved_kernel(self) -> str:
+        """The concrete kernel tier this context selects.
+
+        ``"compiled"`` when the selection is ``"compiled"`` or an ``"auto"``
+        with numba importable, else ``"numpy"`` (an unavailable explicit
+        ``"compiled"`` degrades with a one-time warning — see
+        :func:`repro.batch.compiled.resolve_kernel`).
+        """
+        return resolve_kernel(self.kernel)
+
     def ordered_relaxation(
         self,
         batch,
@@ -266,6 +306,8 @@ class ExecutionContext:
             backend=self.resolved_lp_backend(),  # type: ignore[arg-type]
             ctx=self,
             build_schedules=build_schedules,
+            kernel=self.resolved_kernel(),
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------ #
@@ -390,22 +432,28 @@ class ExecutionContext:
     def cached(
         self, name: str, params: Mapping[str, Any], compute: Callable[[], Any]
     ) -> Any:
-        """Memoize ``compute()`` under ``(name, seed, lp_backend, params)`` in the cache.
+        """Memoize ``compute()`` under ``(name, seed, solver/kernel tier, params)``.
 
         Without a cache this simply calls ``compute()``.  ``params`` must be
         JSON-canonicalisable (see :func:`repro.batch.cache.cache_key`); the
-        context adds its own seed *and resolved LP solver* to the key —
-        results computed with one solver must never be served to a run using
-        another from a shared ``--cache-dir``.  Keying on the *resolved*
-        backend (not the raw selection) also separates ``auto`` contexts
-        that resolve differently (a vectorized ``auto`` uses the lockstep
-        kernel, a serial ``auto`` uses SciPy); the context's value is merged
-        last so a caller-supplied ``params`` entry cannot shadow it
-        (regression-tested in ``tests/test_exec.py``).
+        context adds its own seed, *resolved* LP solver, *resolved* kernel
+        tier and precision to the key — results computed by one numeric
+        tier must never be served to a run using another from a shared
+        ``--cache-dir``.  Keying on the resolved values (not the raw
+        selections) also separates ``auto`` contexts that resolve
+        differently (a vectorized ``auto`` uses the lockstep LP kernel, an
+        ``auto`` kernel resolves per numba availability); the context's
+        values are merged last so caller-supplied ``params`` entries cannot
+        shadow them (regression-tested in ``tests/test_exec.py``).
         """
         if self.cache is None:
             return compute()
-        key_params = {**dict(params), "lp_backend": self.resolved_lp_backend()}
+        key_params = {
+            **dict(params),
+            "lp_backend": self.resolved_lp_backend(),
+            "kernel": self.resolved_kernel(),
+            "precision": self.precision,
+        }
         return self.cache.get_or_compute(cache_key(name, self.seed, key_params), compute)
 
     def close(self) -> None:

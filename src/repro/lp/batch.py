@@ -403,6 +403,8 @@ def solve_ordered_relaxation_batch(
     backend: BatchBackend = "batch",
     ctx: "ExecutionContext | None" = None,
     build_schedules: bool = False,
+    kernel: str = "numpy",
+    precision: str = "float64",
 ) -> BatchedOrderedSolution:
     """Solve the Corollary 1 LP of every row of ``batch`` under ``orders``.
 
@@ -425,6 +427,10 @@ def solve_ordered_relaxation_batch(
     build_schedules:
         Materialise the rate tensors so :meth:`BatchedOrderedSolution.schedules`
         works (slightly more work on the scalar dispatch path).
+    kernel, precision:
+        Forwarded to :func:`repro.lp.simplex.solve_linear_program_batch` on
+        the ``"batch"`` backend (the compiled pivot tier and the float32
+        throughput mode); ignored by the scalar dispatch backends.
 
     Raises
     ------
@@ -439,7 +445,9 @@ def solve_ordered_relaxation_batch(
 
     if backend == "batch":
         lp = build_ordered_lp_batch(batch, orders)
-        result = solve_linear_program_batch(lp.c, lp.A_ub, lp.b_ub, lp.A_eq, lp.b_eq)
+        result = solve_linear_program_batch(
+            lp.c, lp.A_ub, lp.b_ub, lp.A_eq, lp.b_eq, kernel=kernel, precision=precision
+        )
         if not result.all_optimal:
             bad = int(np.nonzero(result.statuses != "optimal")[0][0])
             raise SolverError(

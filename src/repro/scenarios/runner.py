@@ -57,9 +57,18 @@ __all__ = ["SweepRunner", "SweepResult", "run_cell"]
 
 
 def _policies_cell(
-    spec: ScenarioSpec, cell: ScenarioCell, backend: str
+    spec: ScenarioSpec,
+    cell: ScenarioCell,
+    backend: str,
+    kernel: str = "numpy",
+    precision: str = "float64",
 ) -> list[dict[str, Any]]:
-    """Evaluate one ``policies`` cell; identical inputs on every backend."""
+    """Evaluate one ``policies`` cell; identical inputs on every backend.
+
+    ``kernel`` and ``precision`` select the tier of the vectorized engine
+    (:func:`repro.batch.sim_kernels.simulate_batch`); the scalar backend
+    ignores both.
+    """
     from repro.core.batch import InstanceBatch
     from repro.scenarios.families import build_cell_workload
 
@@ -80,7 +89,9 @@ def _policies_cell(
         bounds = combined_lower_bound_batch(batch)
         safe = np.where(bounds > 0, bounds, 1.0)
         for policy in policies:
-            result = simulate_batch(batch, policy, release_times=releases)
+            result = simulate_batch(
+                batch, policy, release_times=releases, kernel=kernel, precision=precision
+            )
             objectives = result.weighted_completion_times()
             ratios = np.where(bounds > 0, objectives / safe, 1.0)
             per_policy[policy.name] = {
@@ -266,6 +277,14 @@ def run_cell(payload: Mapping[str, Any]) -> list[dict[str, Any]]:
         seed=cell_data["seed"],
     )
     backend = payload.get("backend", "serial")
+    if spec.pipeline == "policies":
+        return _policies_cell(
+            spec,
+            cell,
+            backend,
+            kernel=payload.get("kernel", "numpy"),
+            precision=payload.get("precision", "float64"),
+        )
     return _PIPELINES[spec.pipeline](spec, cell, backend)
 
 
@@ -345,6 +364,10 @@ class SweepRunner:
                     "seed": cell.seed,
                 },
                 "backend": backend,
+                # Resolved here (not in the worker) so pool workers never
+                # re-run the numba availability probe.
+                "kernel": self.ctx.resolved_kernel(),
+                "precision": self.ctx.precision,
             }
             for cell in self.cells()
         ]
@@ -387,6 +410,11 @@ class SweepRunner:
                         # switch nor an 'auto' that resolves differently can
                         # serve stale cells.
                         "lp_backend": self.ctx.resolved_lp_backend(),
+                        # Same hygiene for the kernel tier and precision: a
+                        # float32 or compiled-tier sweep must never serve a
+                        # cell cached under different numerics.
+                        "kernel": p["kernel"],
+                        "precision": p["precision"],
                     },
                 )
                 for p in payloads

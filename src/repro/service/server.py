@@ -93,6 +93,7 @@ class ServiceConfig:
     virtual_time: bool = False
     atol: float = 1e-10
     drain_grace: float = 5.0
+    kernel: str = "auto"  # event-loop tier; 'auto' uses compiled when numba is installed
 
 
 class SchedulerService:
@@ -101,7 +102,10 @@ class SchedulerService:
     def __init__(self, config: "ServiceConfig | None" = None):
         self.config = config or ServiceConfig()
         self.state = LiveSystemState(
-            P=self.config.P, policy=self.config.policy, atol=self.config.atol
+            P=self.config.P,
+            policy=self.config.policy,
+            atol=self.config.atol,
+            kernel=self.config.kernel,
         )
         self.metrics = MetricsRegistry()
         self.limiter = ClientRateLimiter(

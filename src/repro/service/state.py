@@ -42,6 +42,7 @@ from repro.batch.sim_kernels import (
     WdeqBatchPolicy,
     advance_simulation_state,
 )
+from repro.batch.compiled import resolve_kernel
 from repro.core.batch import InstanceBatch
 
 __all__ = [
@@ -115,14 +116,21 @@ class LiveSystemState:
         ``fair-share``).
     atol:
         Completion-detection tolerance, forwarded to the engine.
+    kernel:
+        Event-loop tier (``auto``/``numpy``/``compiled``), resolved once at
+        construction and forwarded to every engine call.  ``auto`` picks the
+        compiled tier when numba is importable; the service's traces are
+        always off and its policies are built-in, so the compiled core
+        applies whenever it is installed.
     """
 
-    def __init__(self, P: float, policy: str = "wdeq", atol: float = 1e-10):
+    def __init__(self, P: float, policy: str = "wdeq", atol: float = 1e-10, kernel: str = "auto"):
         if P <= 0:
             raise ValueError(f"P must be positive, got {P}")
         self.P = float(P)
         self.policy_name = policy
         self.policy = make_policy(policy)
+        self.kernel = resolve_kernel(kernel)
         self.atol = float(atol)
         self.records: "dict[str, TaskRecord]" = {}
         self._running: "set[str]" = set()
@@ -264,7 +272,7 @@ class LiveSystemState:
         release will pull it forward, which is what prevents phantom work.
         """
         now = max(float(now), float(self.state.t[0]))
-        advance_simulation_state(self.state, self.policy, until=now)
+        advance_simulation_state(self.state, self.policy, until=now, kernel=self.kernel)
         self._sync_completions()
         return now
 
@@ -419,7 +427,7 @@ class LiveSystemState:
             return record.completion_time
         ghost = self.state.clone()
         # Pending releases in the clone fire on their own; run to the end.
-        advance_simulation_state(ghost, self.policy, until=None)
+        advance_simulation_state(ghost, self.policy, until=None, kernel=self.kernel)
         return float(ghost.completion_times[0, record.slot])
 
     def snapshot(self) -> "dict[str, float | int]":

@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.ratios import policy_ratios
+from repro.batch.compiled import numba_available
 from repro.batch.sim_kernels import (
     BatchPolicy,
     DeqBatchPolicy,
@@ -38,6 +39,12 @@ from repro.workloads.generators import cluster_instances
 # --------------------------------------------------------------------- #
 
 finite = dict(allow_nan=False, allow_infinity=False)
+
+#: The differential suites run under every kernel tier available on this
+#: machine; the compiled tier must be byte-identical at float64 wherever it
+#: engages (completions-only runs) and falls back to the same NumPy code
+#: everywhere else, so the assertions do not change per kernel.
+KERNELS = ["numpy"] + (["compiled"] if numba_available() else [])
 
 
 @st.composite
@@ -109,12 +116,13 @@ def _assert_traces_match(batch_trace, scalar_trace) -> None:
 
 
 class TestSimulateBatchEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @settings(max_examples=25, deadline=None)
     @given(instance_batches())
-    def test_all_policies_match_scalar_completions_and_traces(self, insts):
+    def test_all_policies_match_scalar_completions_and_traces(self, kernel, insts):
         batch = InstanceBatch.from_instances(insts)
         for batch_policy in default_batch_policies(batch):
-            result = simulate_batch(batch, batch_policy, record_trace=True)
+            result = simulate_batch(batch, batch_policy, record_trace=True, kernel=kernel)
             assert result.completion_times.shape == (batch.batch_size, batch.n_max)
             for b, inst in enumerate(insts):
                 scalar = simulate(inst, _scalar_policy(inst, batch_policy.name))
@@ -127,14 +135,17 @@ class TestSimulateBatchEquivalence:
                 assert np.all(result.completion_times[b, inst.n :] == 0.0)
                 _assert_traces_match(result.traces[b], scalar.trace)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @settings(max_examples=20, deadline=None)
     @given(batches_with_releases())
-    def test_release_patterns_match_scalar(self, insts_and_releases):
+    def test_release_patterns_match_scalar(self, kernel, insts_and_releases):
         insts, releases = insts_and_releases
         batch = InstanceBatch.from_instances(insts)
         padded = _padded_releases(batch, releases)
         for batch_policy in default_batch_policies(batch):
-            result = simulate_batch(batch, batch_policy, release_times=padded, record_trace=True)
+            result = simulate_batch(
+                batch, batch_policy, release_times=padded, record_trace=True, kernel=kernel
+            )
             for b, inst in enumerate(insts):
                 scalar = simulate(
                     inst, _scalar_policy(inst, batch_policy.name), release_times=releases[b]
@@ -147,11 +158,12 @@ class TestSimulateBatchEquivalence:
                 )
                 _assert_traces_match(result.traces[b], scalar.trace)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @settings(max_examples=15, deadline=None)
     @given(instance_batches(max_batch=4))
-    def test_objective_helpers_match_scalar(self, insts):
+    def test_objective_helpers_match_scalar(self, kernel, insts):
         batch = InstanceBatch.from_instances(insts)
-        result = simulate_batch(batch, WdeqBatchPolicy())
+        result = simulate_batch(batch, WdeqBatchPolicy(), kernel=kernel)
         values = result.weighted_completion_times()
         spans = result.makespans()
         for b, inst in enumerate(insts):
@@ -230,10 +242,13 @@ class TestSimulateBatchValidation:
                 self._batch(), WdeqBatchPolicy(), release_times=np.full((1, 2), -1.0)
             )
 
-    def test_zero_weight_rejected_by_wdeq(self):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_zero_weight_rejected_by_wdeq(self, kernel):
         inst = Instance(P=1.0, tasks=[Task(volume=1.0, weight=0.0, delta=0.5)])
         with pytest.raises(InvalidInstanceError):
-            simulate_batch(InstanceBatch.from_instances([inst]), WdeqBatchPolicy())
+            simulate_batch(
+                InstanceBatch.from_instances([inst]), WdeqBatchPolicy(), kernel=kernel
+            )
 
     def test_priority_policy_tie_break_matches_scalar(self):
         # Equal priorities: the scalar policy serves ascending task index.
@@ -250,12 +265,13 @@ class TestSimulateBatchValidation:
         )
         assert result.traces[0].completion_order() == scalar.trace.completion_order()
 
-    def test_fair_share_requires_positive_weights(self):
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_fair_share_requires_positive_weights(self, kernel):
         # Weight zero with the fair-share policy: the total weight is zero.
         inst = Instance(P=1.0, tasks=[Task(volume=1.0, weight=0.0, delta=0.5)])
         with pytest.raises(SimulationError, match="positive weights"):
             simulate_batch(
-                InstanceBatch.from_instances([inst]), FairShareNoCapBatchPolicy()
+                InstanceBatch.from_instances([inst]), FairShareNoCapBatchPolicy(), kernel=kernel
             )
 
     def test_released_only_rows_finish_while_others_wait(self):
