@@ -39,6 +39,8 @@ from typing import Any, Mapping
 
 __all__ = [
     "ProtocolError",
+    "MessageRegistry",
+    "REGISTRY",
     "SubmitTask",
     "CancelTask",
     "QueryShare",
@@ -65,6 +67,99 @@ __all__ = [
 
 class ProtocolError(ValueError):
     """A malformed or unknown message reached an encode/decode boundary."""
+
+
+class MessageRegistry:
+    """Tagged-dataclass codec: the machinery behind every wire protocol.
+
+    A registry maps wire tags to frozen dataclasses and converts between the
+    two representations — :meth:`encode` flattens a message instance into a
+    ``{"type": tag, ...fields}`` dict, :meth:`decode` rebuilds the dataclass
+    with *strict* validation (unknown tag, unexpected field, missing required
+    field all raise :class:`ProtocolError`, never a bare ``TypeError``).
+
+    The service protocol below and the cluster coordinator/worker protocol
+    (:data:`repro.exec.cluster.CLUSTER_REGISTRY`) are both instances; the
+    module-level :func:`encode_message` / :func:`decode_message` functions
+    delegate to the registry of the service messages.
+
+    Parameters
+    ----------
+    types:
+        Wire tag -> dataclass mapping.
+    tuple_fields:
+        Field names whose list values decode back to tuples (tuples keep
+        frozen dataclasses hashable and round-trip equality exact, since
+        JSON has no tuple type).
+    """
+
+    def __init__(
+        self,
+        types: "Mapping[str, type]",
+        tuple_fields: "tuple[str, ...] | frozenset[str]" = (),
+        label: str = "registered",
+    ):
+        self.types: "dict[str, type]" = dict(types)
+        self.label = label
+        self._tag_by_type = {cls: tag for tag, cls in self.types.items()}
+        self._tuple_fields = frozenset(tuple_fields)
+
+    def __repr__(self) -> str:
+        # Stable (no memory address): registry objects appear in generated
+        # API docs and in function signature defaults.
+        return f"<MessageRegistry {self.label!r}: {len(self.types)} message types>"
+
+    def message_type(self, message: object) -> str:
+        """The wire tag of a message instance (ProtocolError if foreign)."""
+        try:
+            return self._tag_by_type[type(message)]
+        except KeyError:
+            raise ProtocolError(
+                f"{type(message).__name__} is not a {self.label} message type"
+            ) from None
+
+    def encode(self, message: object) -> "dict[str, Any]":
+        """Flatten a message dataclass into a ``{'type': tag, ...fields}`` dict.
+
+        Tuples are emitted as-is (JSON serialises them as arrays); ``None``
+        optionals are included so the payload is self-describing.
+        """
+        tag = self.message_type(message)
+        payload: "dict[str, Any]" = {"type": tag}
+        for f in fields(message):  # type: ignore[arg-type]
+            value = getattr(message, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    def decode(self, payload: "Mapping[str, Any]") -> object:
+        """Rebuild the message dataclass a tagged payload describes.
+
+        Raises :class:`ProtocolError` on a missing/unknown ``type`` tag, an
+        unexpected field, or a missing required field, so transport layers
+        can turn any client mistake into a structured error reply.
+        """
+        if not isinstance(payload, Mapping):
+            raise ProtocolError(f"expected a mapping, got {type(payload).__name__}")
+        tag = payload.get("type")
+        if not isinstance(tag, str) or tag not in self.types:
+            raise ProtocolError(f"unknown message type {tag!r}")
+        cls = self.types[tag]
+        known = {f.name for f in fields(cls)}
+        kwargs: "dict[str, Any]" = {}
+        for name, value in payload.items():
+            if name == "type":
+                continue
+            if name not in known:
+                raise ProtocolError(f"unexpected field {name!r} for message {tag!r}")
+            if name in self._tuple_fields and isinstance(value, (list, tuple)):
+                value = tuple(value)
+            kwargs[name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ProtocolError(f"invalid {tag!r} message: {exc}") from None
 
 
 # --------------------------------------------------------------------- #
@@ -289,17 +384,18 @@ REPLY_TYPES = (
     ErrorReply,
 )
 
-_TAG_BY_TYPE = {cls: tag for tag, cls in MESSAGE_TYPES.items()}
+#: Fields that decode back to tuples (dataclass equality + hashability).
+_TUPLE_FIELDS = frozenset(
+    {"volumes", "weights", "deltas", "release_times", "completion_times"}
+)
+
+#: The registry instance behind the module-level encode/decode functions.
+REGISTRY = MessageRegistry(MESSAGE_TYPES, _TUPLE_FIELDS, label="repro.api")
 
 
 def message_type(message: object) -> str:
     """The wire tag of a message instance (raises ProtocolError if foreign)."""
-    try:
-        return _TAG_BY_TYPE[type(message)]
-    except KeyError:
-        raise ProtocolError(
-            f"{type(message).__name__} is not a repro.api message type"
-        ) from None
+    return REGISTRY.message_type(message)
 
 
 def encode_message(message: object) -> "dict[str, Any]":
@@ -308,18 +404,7 @@ def encode_message(message: object) -> "dict[str, Any]":
     Tuples are emitted as-is (JSON serialises them as arrays); ``None``
     optionals are included so the payload is self-describing.
     """
-    tag = message_type(message)
-    payload: "dict[str, Any]" = {"type": tag}
-    for f in fields(message):  # type: ignore[arg-type]
-        value = getattr(message, f.name)
-        if isinstance(value, tuple):
-            value = list(value)
-        payload[f.name] = value
-    return payload
-
-
-#: Fields that decode back to tuples (dataclass equality + hashability).
-_TUPLE_FIELDS = {"volumes", "weights", "deltas", "release_times", "completion_times"}
+    return REGISTRY.encode(message)
 
 
 def decode_message(payload: "Mapping[str, Any]") -> object:
@@ -330,23 +415,4 @@ def decode_message(payload: "Mapping[str, Any]") -> object:
     ``TypeError`` — so transport layers can turn any client mistake into a
     structured :class:`ErrorReply`.
     """
-    if not isinstance(payload, Mapping):
-        raise ProtocolError(f"expected a mapping, got {type(payload).__name__}")
-    tag = payload.get("type")
-    if not isinstance(tag, str) or tag not in MESSAGE_TYPES:
-        raise ProtocolError(f"unknown message type {tag!r}")
-    cls = MESSAGE_TYPES[tag]
-    known = {f.name for f in fields(cls)}
-    kwargs: "dict[str, Any]" = {}
-    for name, value in payload.items():
-        if name == "type":
-            continue
-        if name not in known:
-            raise ProtocolError(f"unexpected field {name!r} for message {tag!r}")
-        if name in _TUPLE_FIELDS and isinstance(value, (list, tuple)):
-            value = tuple(value)
-        kwargs[name] = value
-    try:
-        return cls(**kwargs)
-    except TypeError as exc:
-        raise ProtocolError(f"invalid {tag!r} message: {exc}") from None
+    return REGISTRY.decode(payload)

@@ -134,9 +134,19 @@ class ResultCache:
         return value
 
     @property
+    def path(self) -> str | None:
+        """The backing file, or ``None`` for a purely in-memory cache."""
+        return self._path
+
+    @property
     def stats(self) -> dict[str, int]:
         """Hit/miss/size counters (for reports and tests)."""
         return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    def discard(self, key: str) -> bool:
+        """Drop one entry if present; True when something was removed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""

@@ -43,6 +43,12 @@ synthetic open-loop workload against it::
     malleable-repro loadgen --port 7461 --clients 50 --tasks 40
     malleable-repro loadgen --spawn-server --clients 200 --min-rps 1000
 
+Launch cluster worker nodes and shard a sweep over them::
+
+    malleable-repro workers --port 7500 --count 3
+    malleable-repro sweep bursty-poisson --backend cluster \
+        --hosts 127.0.0.1:7500,127.0.0.1:7501,127.0.0.1:7502
+
 Every execution flag maps onto one :class:`repro.exec.ExecutionContext`
 that is handed to every experiment and sweep — the CLI contains no
 per-experiment execution wiring.
@@ -253,6 +259,39 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_output",
         help="print the full report as JSON instead of a table",
     )
+
+    workers_parser = subparsers.add_parser(
+        "workers",
+        help="launch cluster worker node(s) for the --backend cluster sweeps",
+    )
+    workers_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    workers_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help=(
+            "base TCP port; node i listens on port+i (0 picks ephemeral ports — "
+            "each node prints its bound address)"
+        ),
+    )
+    workers_parser.add_argument(
+        "--count", type=int, default=1, help="number of worker node processes to launch"
+    )
+    workers_parser.add_argument(
+        "--chaos-delay",
+        type=float,
+        default=0.0,
+        help="fault injection: sleep this many seconds before every job (straggler)",
+    )
+    workers_parser.add_argument(
+        "--chaos-die-after",
+        type=int,
+        default=0,
+        help=(
+            "fault injection: after this many completed jobs, die with os._exit "
+            "mid-job — no reply, no cleanup (0 disables)"
+        ),
+    )
     return parser
 
 
@@ -333,6 +372,36 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
             "tolerances (also part of the cache key)"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "serial", "vectorized", "process-pool", "cluster"),
+        help=(
+            "execution backend; 'auto' (default) infers it from --batch/--workers, "
+            "'cluster' shards cells over the worker nodes named by --hosts "
+            "(launch them with `malleable-repro workers`)"
+        ),
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        help="cluster worker addresses as host:port[,host:port...] (with --backend cluster)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=120.0,
+        help=(
+            "cluster backend: seconds one cell may take on a worker before the "
+            "worker is declared dead and the cell is reassigned"
+        ),
+    )
+    parser.add_argument(
+        "--cluster-retries",
+        type=int,
+        default=2,
+        help="cluster backend: bound on re-executions per cell before the sweep fails",
+    )
 
 
 def context_from_args(args: argparse.Namespace) -> ExecutionContext:
@@ -347,6 +416,10 @@ def context_from_args(args: argparse.Namespace) -> ExecutionContext:
         shm=getattr(args, "shm", False),
         kernel=getattr(args, "kernel", "auto"),
         precision=getattr(args, "precision", "float64"),
+        backend=getattr(args, "backend", "auto"),
+        hosts=getattr(args, "hosts", None),
+        cell_timeout=getattr(args, "cell_timeout", 120.0),
+        cluster_retries=getattr(args, "cluster_retries", 2),
     )
 
 
@@ -579,6 +652,58 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workers(args: argparse.Namespace) -> int:
+    """The ``workers`` subcommand: launch cluster worker node process(es).
+
+    A single node runs in this process; ``--count N`` forks N child
+    processes, one node each on consecutive ports (or ephemeral ports with
+    ``--port 0``).  Every node prints its bound address on a line of the
+    form ``cluster worker <id> listening on <host>:<port>`` (flushed), so
+    launchers — the chaos test harness, the cluster benchmark, shell
+    scripts — can discover the addresses.  ``SIGTERM`` drains gracefully:
+    in-flight cells finish and reply before the node exits.
+    """
+    from repro.exec.cluster import run_worker_node
+
+    if args.count <= 1:
+        return run_worker_node(
+            host=args.host,
+            port=args.port,
+            chaos_delay=args.chaos_delay,
+            chaos_die_after=args.chaos_die_after,
+        )
+
+    import multiprocessing
+    import signal as signal_module
+
+    processes = []
+    for index in range(args.count):
+        port = 0 if args.port == 0 else args.port + index
+        process = multiprocessing.Process(
+            target=run_worker_node,
+            kwargs={
+                "host": args.host,
+                "port": port,
+                "worker_id": f"w{index}",
+                "chaos_delay": args.chaos_delay,
+                "chaos_die_after": args.chaos_die_after,
+            },
+        )
+        process.start()
+        processes.append(process)
+
+    def _forward(signum: int, frame: object) -> None:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()  # SIGTERM -> each node's drain handler
+
+    signal_module.signal(signal_module.SIGTERM, _forward)
+    signal_module.signal(signal_module.SIGINT, _forward)
+    for process in processes:
+        process.join()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``malleable-repro`` console script."""
     parser = build_parser()
@@ -615,6 +740,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen(args)
+
+    if args.command == "workers":
+        return _run_workers(args)
 
     if args.command == "all":
         with context_from_args(args) as ctx:

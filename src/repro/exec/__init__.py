@@ -9,7 +9,9 @@ CLI builds one from its flags, and the registry translates the deprecated
 pre-context keyword arguments into one.  :mod:`repro.exec.shm` provides the
 zero-copy shared-memory publication used by
 :meth:`~repro.exec.context.ExecutionContext.map_batch` on ``shm=True``
-contexts.
+contexts, and :mod:`repro.exec.cluster` the multi-node ``cluster`` backend
+(coordinator + socket worker nodes; imported lazily here to keep the
+package import light).
 
 Typical usage::
 
@@ -23,3 +25,13 @@ Typical usage::
 from repro.exec.context import BACKENDS, LP_BACKENDS, ExecutionContext
 
 __all__ = ["BACKENDS", "LP_BACKENDS", "ExecutionContext"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports of the cluster layer (socket/threading machinery that
+    # most callers never touch).
+    if name in {"ClusterCoordinator", "WorkerNode", "ClusterError"}:
+        from repro.exec import cluster
+
+        return getattr(cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

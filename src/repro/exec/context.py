@@ -21,6 +21,12 @@ Three backends are supported:
 ``process-pool``
     Per-instance work is sharded over a
     :class:`~repro.batch.runner.BatchRunner` worker pool.
+``cluster``
+    Work is sharded over socket-connected
+    :class:`~repro.exec.cluster.WorkerNode` processes — localhost ports or
+    remote hosts — through a :class:`~repro.exec.cluster.ClusterCoordinator`
+    (``hosts=...`` names them).  Cells run vectorized on each node; see
+    :mod:`repro.exec.cluster` for the protocol and failure model.
 
 A context with ``backend="vectorized"`` and ``workers > 1`` combines both
 levers: vectorized kernels where they exist, the pool for the remaining
@@ -50,7 +56,7 @@ from repro.batch.runner import BatchRunner
 __all__ = ["BACKENDS", "LP_BACKENDS", "KERNELS", "PRECISIONS", "ExecutionContext"]
 
 #: The recognised execution backends.
-BACKENDS = ("serial", "vectorized", "process-pool")
+BACKENDS = ("serial", "vectorized", "process-pool", "cluster")
 
 #: The recognised LP-backend selections.  ``auto`` resolves per execution
 #: backend (the batched lockstep kernel on ``vectorized``, SciPy otherwise);
@@ -126,6 +132,21 @@ class ExecutionContext:
         ``"float64"`` (default) or ``"float32"`` — the float32 throughput
         mode of the batched simulation and LP kernels, with widened
         numerical tolerances.  Also part of every :meth:`cached` key.
+    hosts:
+        Worker addresses for the ``cluster`` backend:
+        ``"host:port,host:port"`` or a sequence of ``host:port`` strings.
+        Required (unless an explicit ``coordinator`` is supplied) when
+        ``backend="cluster"``, ignored otherwise.
+    cell_timeout:
+        Cluster backend: seconds one cell may take on a worker before the
+        worker is declared dead and the cell is reassigned.
+    cluster_retries:
+        Cluster backend: bound on re-executions per cell (reassignments
+        after worker death and remote failures both count).
+    coordinator:
+        Explicit :class:`~repro.exec.cluster.ClusterCoordinator` (mirrors
+        ``runner``: built lazily from ``hosts`` when not given; a context
+        that built its own coordinator also closes it in :meth:`close`).
 
     Examples
     --------
@@ -147,7 +168,12 @@ class ExecutionContext:
     shm: bool = False
     kernel: str = "auto"
     precision: str = "float64"
+    hosts: Any = ()
+    cell_timeout: float = 120.0
+    cluster_retries: int = 2
+    coordinator: Any = None
     _owns_runner: bool = field(default=False, repr=False)
+    _owns_coordinator: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -173,7 +199,9 @@ class ExecutionContext:
             # reporting "serial" must never shard (serial guarantees the
             # in-process loop, e.g. for non-picklable functions).
             self.backend = "process-pool"
-        if self.runner is None:
+        if self.backend == "cluster" and self.coordinator is None and not self.hosts:
+            raise ValueError("the cluster backend requires hosts (or an explicit coordinator)")
+        if self.runner is None and self.backend != "cluster":
             pool_workers = self.workers
             if self.backend == "process-pool" and pool_workers <= 1:
                 pool_workers = os.cpu_count() or 1
@@ -199,12 +227,20 @@ class ExecutionContext:
         shm: bool = False,
         kernel: str = "auto",
         precision: str = "float64",
+        backend: str = "auto",
+        hosts: "str | Iterable[str] | None" = None,
+        cell_timeout: float = 120.0,
+        cluster_retries: int = 2,
     ) -> "ExecutionContext":
         """Build a context from CLI-style flags.
 
-        ``--batch`` selects the ``vectorized`` backend, ``--workers N`` (for
-        ``N > 1``) the ``process-pool`` backend, and both together a
-        vectorized context with a worker pool for the scalar remainder.
+        ``--backend`` picks the backend directly; the default ``auto`` keeps
+        the historical flag inference: ``--batch`` selects the
+        ``vectorized`` backend, ``--workers N`` (for ``N > 1``) the
+        ``process-pool`` backend, and both together a vectorized context
+        with a worker pool for the scalar remainder.  ``--backend cluster``
+        additionally requires ``--hosts host:port,host:port`` naming the
+        worker nodes (launch them with ``malleable-repro workers``).
         ``--cache-dir`` attaches a :class:`ResultCache` persisted to
         ``<cache_dir>/results-cache.json`` (created on demand, reloaded on
         the next invocation, saved by :meth:`close`); ``--lp-backend``
@@ -213,12 +249,20 @@ class ExecutionContext:
         ``--kernel`` / ``--precision`` select the numeric tier of the hot
         loops (see :data:`KERNELS` and :data:`PRECISIONS`).
         """
-        if batch:
-            backend = "vectorized"
+        if backend and backend != "auto":
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+                )
+            chosen = backend
+        elif batch:
+            chosen = "vectorized"
         elif workers > 1:
-            backend = "process-pool"
+            chosen = "process-pool"
         else:
-            backend = "serial"
+            chosen = "serial"
+        if chosen == "cluster" and not hosts:
+            raise ValueError("--backend cluster requires --hosts host:port[,host:port...]")
         cache = None
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
@@ -226,13 +270,16 @@ class ExecutionContext:
         return cls(
             seed=seed,
             paper_scale=paper_scale,
-            backend=backend,
+            backend=chosen,
             workers=workers,
             cache=cache,
             lp_backend=lp_backend,
             shm=shm,
             kernel=kernel,
             precision=precision,
+            hosts=hosts or (),
+            cell_timeout=cell_timeout,
+            cluster_retries=cluster_retries,
         )
 
     # ------------------------------------------------------------------ #
@@ -314,15 +361,67 @@ class ExecutionContext:
     # Execution
     # ------------------------------------------------------------------ #
 
+    def cluster(self):
+        """The connected coordinator of a ``cluster`` context (built lazily).
+
+        Mirrors how ``runner`` backs the pool backend: an explicit
+        ``coordinator`` is used as-is, otherwise one is constructed from
+        ``hosts`` / ``cell_timeout`` / ``cluster_retries`` on first use and
+        closed by :meth:`close`.  Connecting is idempotent.
+        """
+        if self.backend != "cluster":
+            raise ValueError(f"cluster() requires backend='cluster', not {self.backend!r}")
+        if self.coordinator is None:
+            from repro.exec.cluster import ClusterCoordinator
+
+            self.coordinator = ClusterCoordinator(
+                self.hosts,
+                cell_timeout=self.cell_timeout,
+                max_retries=self.cluster_retries,
+            )
+            self._owns_coordinator = True
+        self.coordinator.connect()
+        return self.coordinator
+
+    def map_cells(
+        self,
+        payloads: "Iterable[Mapping[str, Any]]",
+        on_result: "Callable[[int, list], None] | None" = None,
+    ) -> list:
+        """Run scenario cell payloads through the backend, results in order.
+
+        The cell-level dispatch point of :class:`~repro.scenarios.runner.SweepRunner`:
+        on a ``cluster`` context the payloads shard over the worker nodes;
+        every other backend routes them through :meth:`map` with the
+        module-level :func:`repro.scenarios.runner.run_cell`.  ``on_result``
+        (``index, records``) fires once per completed cell — the sweep
+        runner uses it to persist the cell cache incrementally so an
+        interrupted cluster sweep resumes from the last completed cell.
+        """
+        payloads = list(payloads)
+        if self.backend == "cluster":
+            return self.cluster().map_cells(payloads, on_result=on_result)
+        from repro.scenarios.runner import run_cell
+
+        results = self.map(run_cell, payloads)
+        if on_result is not None:
+            for index, records in enumerate(results):
+                on_result(index, records)
+        return results
+
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
         """Apply ``fn`` to every item through the configured backend.
 
         Serial contexts run the plain in-process loop; contexts with a
         runner shard the items over its workers (order-preserving, identical
-        results — ``fn`` must then be picklable).  This is the single entry
-        point experiments use for per-instance work, so switching backends
-        never touches experiment logic.
+        results — ``fn`` must then be picklable); ``cluster`` contexts
+        shard them over the worker nodes (``fn`` must be picklable *and*
+        importable on the nodes).  This is the single entry point
+        experiments use for per-instance work, so switching backends never
+        touches experiment logic.
         """
+        if self.backend == "cluster":
+            return self.cluster().map(fn, list(items))
         if self.runner is not None:
             return self.runner.map(fn, items)
         return [fn(item) for item in items]
@@ -376,6 +475,10 @@ class ExecutionContext:
                 raise ValueError(
                     f"extra array {name!r} must have leading dimension {B}, got {value.shape}"
                 )
+        if self.backend == "cluster":
+            # Rows ship once per node (content-fingerprinted PushBatch);
+            # chunk jobs carry only (batch_id, lo, hi).
+            return self.cluster().map_batch(fn, batch, extra_arrays or None, chunks)
         if self.runner is None or self.runner.workers <= 1 or B <= 1:
             if extra_arrays:
                 return list(fn(batch, extra_arrays))
@@ -457,9 +560,11 @@ class ExecutionContext:
         return self.cache.get_or_compute(cache_key(name, self.seed, key_params), compute)
 
     def close(self) -> None:
-        """Release resources: shut down an owned runner, save a backed cache."""
+        """Release resources: shut down an owned runner/coordinator, save a backed cache."""
         if self.runner is not None and self._owns_runner:
             self.runner.close()
+        if self.coordinator is not None and self._owns_coordinator:
+            self.coordinator.close()
         if self.cache is not None and getattr(self.cache, "_path", None):
             try:
                 self.cache.save()

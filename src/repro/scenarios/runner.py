@@ -352,7 +352,14 @@ class SweepRunner:
 
     def payloads(self) -> list[dict[str, Any]]:
         """One picklable payload per cell for :func:`run_cell`."""
-        backend = "vectorized" if self.ctx.vectorized else "serial"
+        # Cluster cells run the vectorized pipeline on their node: one
+        # simulate_batch call per cell, and bitwise agreement with a local
+        # vectorized run of the same cells.
+        backend = (
+            "vectorized"
+            if self.ctx.vectorized or self.ctx.backend == "cluster"
+            else "serial"
+        )
         spec_dict = self.spec.to_dict()
         return [
             {
@@ -381,54 +388,73 @@ class SweepRunner:
             rows.append([cell.index, cell.seed, cell.label(), self.spec.pipeline, count])
         return headers, rows
 
-    def run(self, store: ResultsStore | None = None) -> SweepResult:
-        """Execute every cell; optionally persist records + summary to ``store``.
+    def cell_cache_keys(self, payloads: list[dict[str, Any]] | None = None) -> list[str]:
+        """The ``ResultCache`` key of every cell, in payload order.
 
-        Cells run through :meth:`ExecutionContext.map`, so a process-pool
-        context shards whole cells over its workers.  On every backend the
-        deterministic pipelines consult the context's cache first (keyed on
-        the cell payload) and only the missing cells are executed, so
-        re-running an identical sweep with a persistent cache
-        (``--cache-dir``) skips recomputation — timings (``solver-timing``)
-        are never cached.
+        The keys are **backend-invariant**: they cover the spec, the cell,
+        and the numeric tier (resolved LP solver, kernel, precision) — but
+        never *where* the cell ran.  A cache populated by a cluster sweep is
+        served verbatim by a serial or vectorized rerun and vice versa
+        (differential-tested in ``tests/test_cluster.py``); the numeric-tier
+        entries keep the PR-4/PR-7 hygiene: cells computed under one solver
+        or precision are never served to another.
         """
         from repro.batch.cache import cache_key
 
+        if payloads is None:
+            payloads = self.payloads()
+        return [
+            cache_key(
+                f"scenario:{self.spec.name}",
+                self.ctx.seed,
+                {
+                    "cell": p["cell"],
+                    "spec": p["spec"],
+                    "lp_backend": self.ctx.resolved_lp_backend(),
+                    "kernel": p["kernel"],
+                    "precision": p["precision"],
+                },
+            )
+            for p in payloads
+        ]
+
+    def run(self, store: ResultsStore | None = None) -> SweepResult:
+        """Execute every cell; optionally persist records + summary to ``store``.
+
+        Cells run through :meth:`ExecutionContext.map_cells`, so a
+        process-pool context shards whole cells over its workers and a
+        ``cluster`` context shards them over its worker nodes.  On every
+        backend the deterministic pipelines consult the context's cache
+        first (keyed per :meth:`cell_cache_keys`) and only the missing cells
+        are executed, so re-running an identical sweep with a persistent
+        cache (``--cache-dir``) skips recomputation — timings
+        (``solver-timing``) are never cached.  On the cluster backend a
+        path-backed cache is additionally *saved after every completed
+        cell*: a coordinator killed mid-sweep resumes from the last
+        completed cell, re-dispatching exactly the uncached remainder.
+        """
         payloads = self.payloads()
         cache = self.ctx.cache
         if cache is not None and self.spec.pipeline != "solver-timing":
-            keys = [
-                cache_key(
-                    f"scenario:{self.spec.name}",
-                    self.ctx.seed,
-                    {
-                        "cell": p["cell"],
-                        "backend": p["backend"],
-                        "spec": p["spec"],
-                        # Cells that solve LPs depend on the solver; keying
-                        # on the resolved backend means neither a --lp-backend
-                        # switch nor an 'auto' that resolves differently can
-                        # serve stale cells.
-                        "lp_backend": self.ctx.resolved_lp_backend(),
-                        # Same hygiene for the kernel tier and precision: a
-                        # float32 or compiled-tier sweep must never serve a
-                        # cell cached under different numerics.
-                        "kernel": p["kernel"],
-                        "precision": p["precision"],
-                    },
-                )
-                for p in payloads
-            ]
+            keys = self.cell_cache_keys(payloads)
             sentinel = object()
             results = [cache.get(key, sentinel) for key in keys]
             missing = [i for i, value in enumerate(results) if value is sentinel]
             if missing:
-                computed = self.ctx.map(run_cell, [payloads[i] for i in missing])
+                persist = self.ctx.backend == "cluster" and cache.path is not None
+
+                def _on_result(local_index: int, cell_records: list) -> None:
+                    cache.put(keys[missing[local_index]], cell_records)
+                    if persist:
+                        cache.save()
+
+                computed = self.ctx.map_cells(
+                    [payloads[i] for i in missing], on_result=_on_result
+                )
                 for i, cell_records in zip(missing, computed):
-                    cache.put(keys[i], cell_records)
                     results[i] = cell_records
         else:
-            results = self.ctx.map(run_cell, payloads)
+            results = self.ctx.map_cells(payloads)
         records = [record for cell_records in results for record in cell_records]
         result = SweepResult(spec=self.spec, records=records)
         if store is not None:

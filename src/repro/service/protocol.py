@@ -1,13 +1,21 @@
 """Wire framing: newline-delimited JSON, plus minimal HTTP sniffing.
 
-One :mod:`repro.api` message per line — ``{"type": tag, ...fields}`` as
-compact JSON terminated by ``\\n``.  The same TCP port also answers plain
-HTTP ``GET /metrics`` and ``GET /health`` (for curl and scrapers): the
-server sniffs the first line of a connection and, when it looks like an
-HTTP request line, answers one minimal HTTP/1.0 response and closes.
+One tagged message per line — ``{"type": tag, ...fields}`` as compact JSON
+terminated by ``\\n``.  The same TCP port also answers plain HTTP
+``GET /metrics`` and ``GET /health`` (for curl and scrapers): the server
+sniffs the first line of a connection and, when it looks like an HTTP
+request line, answers one minimal HTTP/1.0 response and closes.
+
+The framing is shared by every socket protocol in the project:
+:func:`encode_line` / :func:`decode_line` default to the
+:mod:`repro.api` service messages but accept any
+:class:`~repro.api.MessageRegistry` — the cluster coordinator/worker
+protocol of :mod:`repro.exec.cluster` reuses them with its own registry
+(and a larger line cap, since batch pushes ship array payloads).
 
 Everything here is transport-only; message semantics live in
-:mod:`repro.api` and :mod:`repro.service.server`.
+:mod:`repro.api`, :mod:`repro.service.server` and
+:mod:`repro.exec.cluster`.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.api import ProtocolError, decode_message, encode_message
+from repro.api import REGISTRY, MessageRegistry, ProtocolError
 
 __all__ = [
     "MAX_LINE_BYTES",
@@ -33,28 +41,32 @@ _HTTP_METHODS = (b"GET ", b"HEAD ", b"POST ")
 _HTTP_STATUS = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
 
 
-def encode_line(message: object) -> bytes:
+def encode_line(message: object, registry: MessageRegistry = REGISTRY) -> bytes:
     """Serialise one message dataclass to a compact NDJSON line."""
     return (
-        json.dumps(encode_message(message), separators=(",", ":")).encode("utf-8")
+        json.dumps(registry.encode(message), separators=(",", ":")).encode("utf-8")
         + b"\n"
     )
 
 
-def decode_line(line: bytes) -> object:
+def decode_line(
+    line: bytes,
+    registry: MessageRegistry = REGISTRY,
+    max_bytes: int = MAX_LINE_BYTES,
+) -> object:
     """Parse one NDJSON line back into its message dataclass.
 
-    Raises :class:`repro.api.ProtocolError` on invalid JSON as well as on
-    schema violations, so the server has a single failure type to map to an
-    ``ErrorReply``.
+    Raises :class:`repro.api.ProtocolError` on an oversized line and on
+    invalid JSON as well as on schema violations, so the server has a single
+    failure type to map to an ``ErrorReply``.
     """
-    if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    if len(line) > max_bytes:
+        raise ProtocolError(f"message exceeds {max_bytes} bytes")
     try:
         payload = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"invalid JSON: {exc}") from None
-    return decode_message(payload)
+    return registry.decode(payload)
 
 
 def sniff_http_path(first_line: bytes) -> "str | None":

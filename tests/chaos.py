@@ -1,0 +1,163 @@
+"""Fault-injection harness for the cluster backend tests.
+
+Spawns *real* ``malleable-repro workers`` subprocesses on localhost
+ephemeral ports, parses the addresses they print, and provides the murder
+weapons the chaos suite needs: ``SIGKILL`` a node mid-sweep, launch a
+straggler that sleeps past the coordinator's cell timeout
+(``chaos_delay``), or a node that dies with ``os._exit`` upon receiving
+its N-th job (``chaos_die_after`` — deterministic mid-cell loss, no reply,
+no cleanup).  Everything is bounded by timeouts so a regression hangs for
+seconds, not forever.
+
+Usage::
+
+    with WorkerFleet(count=3) as fleet:
+        ctx = ExecutionContext(backend="cluster", hosts=fleet.hosts)
+        ...
+        fleet.kill(0)           # SIGKILL one node
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["WorkerFleet", "spawn_worker", "REPO_SRC"]
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_ADDRESS_RE = re.compile(r"cluster worker (\S+) listening on (\S+:\d+)")
+
+#: Generous per-operation bound: chaos tests must fail, not hang.
+START_TIMEOUT = 30.0
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def spawn_worker(
+    count: int = 1,
+    chaos_delay: float = 0.0,
+    chaos_die_after: int = 0,
+) -> "tuple[subprocess.Popen, list[str]]":
+    """Launch one ``workers`` subprocess; returns (process, addresses).
+
+    The process hosts ``count`` worker nodes on ephemeral ports (children of
+    the subprocess when ``count > 1``); addresses are parsed from its
+    stdout.  Chaos knobs apply to every node in the process.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "workers",
+        "--port",
+        "0",
+        "--count",
+        str(count),
+    ]
+    if chaos_delay:
+        command += ["--chaos-delay", str(chaos_delay)]
+    if chaos_die_after:
+        command += ["--chaos-die-after", str(chaos_die_after)]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, text=True, env=_worker_env()
+    )
+    addresses: "list[str]" = []
+    deadline = time.monotonic() + START_TIMEOUT
+    assert process.stdout is not None
+    while len(addresses) < count:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise TimeoutError(
+                f"worker process printed {len(addresses)}/{count} addresses "
+                f"within {START_TIMEOUT}s"
+            )
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"worker process exited early (rc={process.poll()}) after "
+                f"{len(addresses)}/{count} addresses"
+            )
+        match = _ADDRESS_RE.search(line)
+        if match:
+            addresses.append(match.group(2))
+    return process, addresses
+
+
+class WorkerFleet:
+    """A disposable fleet of localhost worker processes (context manager).
+
+    One subprocess per node so a single node can be killed without touching
+    its siblings.  Per-node chaos knobs: ``delays[i]`` /
+    ``die_after[i]`` map onto ``--chaos-delay`` / ``--chaos-die-after`` of
+    node ``i``.
+    """
+
+    def __init__(
+        self,
+        count: int = 2,
+        delays: "dict[int, float] | None" = None,
+        die_after: "dict[int, int] | None" = None,
+    ):
+        self.count = count
+        self.delays = dict(delays or {})
+        self.die_after = dict(die_after or {})
+        self.processes: "list[subprocess.Popen]" = []
+        self.hosts: "list[str]" = []
+
+    def __enter__(self) -> "WorkerFleet":
+        try:
+            for index in range(self.count):
+                process, addresses = spawn_worker(
+                    count=1,
+                    chaos_delay=self.delays.get(index, 0.0),
+                    chaos_die_after=self.die_after.get(index, 0),
+                )
+                self.processes.append(process)
+                self.hosts.extend(addresses)
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def kill(self, index: int) -> None:
+        """``SIGKILL`` node ``index`` — the hardest crash available."""
+        self.processes[index].kill()
+        self.processes[index].wait(timeout=START_TIMEOUT)
+
+    def terminate(self, index: int) -> int:
+        """``SIGTERM`` node ``index`` (graceful drain); returns its exit code."""
+        self.processes[index].terminate()
+        return self.processes[index].wait(timeout=START_TIMEOUT)
+
+    def alive(self, index: int) -> bool:
+        return self.processes[index].poll() is None
+
+    def close(self) -> None:
+        for process in self.processes:
+            if process.poll() is None:
+                process.kill()
+        for process in self.processes:
+            try:
+                process.wait(timeout=START_TIMEOUT)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                pass
+            if process.stdout is not None:
+                process.stdout.close()
+        self.processes.clear()
+        self.hosts.clear()

@@ -94,7 +94,7 @@ class TestExecutionContext:
             ExecutionContext(backend="gpu")
         with pytest.raises(ValueError, match="workers"):
             ExecutionContext(workers=-1)
-        assert set(BACKENDS) == {"serial", "vectorized", "process-pool"}
+        assert set(BACKENDS) == {"serial", "vectorized", "process-pool", "cluster"}
 
     def test_workers_promote_serial_to_process_pool(self):
         # A context that reports "serial" must never shard: asking for

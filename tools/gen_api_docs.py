@@ -33,6 +33,16 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
         "the zero-copy shared-memory transport of `repro.exec.shm`.",
         ["repro.exec.context", "repro.exec.shm"],
     ),
+    "cluster.md": (
+        "repro.exec.cluster — multi-node sharded sweeps",
+        "The stdlib-only distributed backend behind "
+        "`ExecutionContext(backend='cluster')`: a coordinator shards sweep "
+        "cells over socket-connected worker processes "
+        "(`malleable-repro workers`), ships batch rows once per host, and "
+        "survives killed workers, stragglers and coordinator restarts "
+        "without recomputing cached cells.",
+        ["repro.exec.cluster"],
+    ),
     "exact.md": (
         "repro.lp.exact — the exact-OPT engine",
         "Branch-and-bound over completion suffixes: closed-form density "
