@@ -127,6 +127,35 @@ def build_parser() -> argparse.ArgumentParser:
             "a repro.scenarios.ResultsStore"
         ),
     )
+    sweep_parser.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "trace_replay specs only: replay this CSV/JSONL trace instead of the "
+            "spec's params.trace"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace_replay specs only: stream the trace in N-instance chunks "
+            "(sets params.chunk_size — O(chunk) memory instead of loading the "
+            "trace whole; 0 forces the in-memory path)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "override the spec's per-cell instance count (for trace_replay "
+            "specs this caps how many instances are read from the trace)"
+        ),
+    )
     _add_execution_arguments(sweep_parser)
 
     profile_parser = subparsers.add_parser(
@@ -446,6 +475,36 @@ def _run_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("sweep: a spec (TOML path or scenario name) is required unless --list")
 
     spec = _resolve_spec(args.spec)
+    trace = getattr(args, "trace", None)
+    stream_chunk = getattr(args, "stream_chunk", None)
+    if trace is not None or stream_chunk is not None:
+        if spec.generator != "trace_replay":
+            raise SystemExit(
+                f"sweep: --trace/--stream-chunk apply only to trace_replay specs; "
+                f"{spec.name!r} uses generator {spec.generator!r}"
+            )
+        overrides: dict = {}
+        if trace is not None:
+            overrides["trace"] = os.path.abspath(trace)
+        if stream_chunk is not None:
+            if stream_chunk < 0:
+                raise SystemExit(f"sweep: --stream-chunk must be >= 0, got {stream_chunk}")
+            # 0 drops back to the in-memory path (chunk_size must be a
+            # positive int or absent per ScenarioSpec.validate).
+            overrides["chunk_size"] = stream_chunk if stream_chunk > 0 else None
+        from repro.scenarios import ScenarioSpec
+
+        params = {**dict(spec.params), **overrides}
+        # Rebuild (rather than with_overrides, which merges) so
+        # --stream-chunk 0 genuinely removes an existing chunk_size.
+        spec = ScenarioSpec.from_dict(
+            {**spec.to_dict(), "params": {k: v for k, v in params.items() if v is not None}}
+        )
+    count = getattr(args, "count", None)
+    if count is not None:
+        if count <= 0:
+            raise SystemExit(f"sweep: --count must be positive, got {count}")
+        spec = spec.with_overrides(count=count)
     with context_from_args(args) as ctx:
         runner = SweepRunner(spec, ctx)
         if args.dry_run:

@@ -10,9 +10,13 @@ a :class:`ResultsStore`.
 * :mod:`repro.scenarios.spec` — the TOML-loadable :class:`ScenarioSpec`;
 * :mod:`repro.scenarios.grid` — deterministic, lossless grid expansion;
 * :mod:`repro.scenarios.families` — arrival processes (Poisson, bursty
-  Poisson), heavy-tailed weight reshaping, CSV trace replay;
+  Poisson), heavy-tailed weight reshaping, CSV/JSONL trace replay;
+* :mod:`repro.scenarios.stream` — chunked, strictly validating trace
+  ingestion: million-row traces stream as :class:`InstanceBatch` chunks
+  through online accumulators instead of loading whole;
 * :mod:`repro.scenarios.runner` — the backend-agnostic :class:`SweepRunner`;
-* :mod:`repro.scenarios.store` — JSON-lines records + summary tables;
+* :mod:`repro.scenarios.store` — JSON-lines records + summary tables
+  (with append/merge aggregation for partial and streamed runs);
 * :mod:`repro.scenarios.registry` — built-in catalogue (the paper's E5 / E7
   / E8 grids plus the new families), used by ``malleable-repro sweep``.
 """
@@ -20,8 +24,21 @@ a :class:`ResultsStore`.
 from repro.scenarios.grid import ScenarioCell, expand_grid, split_cell_params
 from repro.scenarios.registry import SCENARIOS, get_scenario
 from repro.scenarios.runner import SweepResult, SweepRunner, run_cell
-from repro.scenarios.spec import METRIC_NAMES, PIPELINES, POLICY_NAMES, ScenarioSpec
-from repro.scenarios.store import ResultsStore, load_records, summary_table
+from repro.scenarios.spec import (
+    METRIC_NAMES,
+    PIPELINES,
+    POLICY_NAMES,
+    TRACE_FORMATS,
+    ScenarioSpec,
+)
+from repro.scenarios.store import ResultsStore, load_records, merge_records, summary_table
+from repro.scenarios.stream import (
+    StreamingMoments,
+    TraceChunk,
+    iter_trace_rows,
+    replay_stream,
+    stream_trace,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -33,10 +50,17 @@ __all__ = [
     "run_cell",
     "ResultsStore",
     "load_records",
+    "merge_records",
     "summary_table",
+    "StreamingMoments",
+    "TraceChunk",
+    "iter_trace_rows",
+    "replay_stream",
+    "stream_trace",
     "SCENARIOS",
     "get_scenario",
     "PIPELINES",
     "POLICY_NAMES",
     "METRIC_NAMES",
+    "TRACE_FORMATS",
 ]

@@ -13,8 +13,10 @@ scenario engine sweeps:
   weights with heavy-tailed (Pareto) or log-normal draws, modelling the
   few-very-important-jobs priority distributions seen in production traces;
 * **trace replay** (:func:`load_trace`) reads tasks (and optional release
-  times) from a CSV file, so a recorded workload can be replayed through
-  every policy and backend.
+  times) from a CSV or JSONL file, so a recorded workload can be replayed
+  through every policy and backend.  The reader is the strictly validating,
+  chunked streamer of :mod:`repro.scenarios.stream`; ``load_trace`` is its
+  in-memory convenience wrapper.
 
 All functions draw from an explicit :class:`numpy.random.Generator`, so a
 scenario cell is reproducible on every backend: the instances and release
@@ -34,7 +36,6 @@ Examples
 
 from __future__ import annotations
 
-import csv
 import os
 from typing import Any, Mapping
 
@@ -169,56 +170,37 @@ def redraw_weights(
 
 
 def load_trace(
-    path: str | os.PathLike, P: float, max_instances: int | None = None
+    path: str | os.PathLike,
+    P: float,
+    max_instances: int | None = None,
+    fmt: str = "auto",
 ) -> tuple[list[Instance], np.ndarray | None]:
-    """Read instances (and optional release times) from a CSV trace.
+    """Read instances (and optional release times) from a CSV or JSONL trace.
 
-    The file needs a header with at least the columns ``instance``,
-    ``volume``, ``weight`` and ``delta``; an optional ``release`` column
-    carries per-task release times.  Rows sharing an ``instance`` value form
-    one instance (rows must be grouped, i.e. consecutive), and every instance
-    runs on a platform of size ``P``.
+    The file needs the columns/keys ``instance``, ``volume``, ``weight`` and
+    ``delta``; an optional ``release`` column carries per-task release times.
+    Rows sharing an ``instance`` value form one instance (rows must be
+    grouped, i.e. consecutive — a reappearing key raises), and every
+    instance runs on a platform of size ``P``.
+
+    This is the in-memory convenience wrapper over the streaming reader
+    :func:`repro.scenarios.stream.stream_trace`, and shares its strict
+    validation: empty/missing ``release`` cells raise (they are never
+    zero-filled), non-positive fields raise, and a ``delta`` above ``P`` is
+    clamped with a warning naming the first offending row.
+    ``max_instances`` stops *reading* after that many instances.
 
     Returns ``(instances, releases)`` where ``releases`` is a dense
     ``(B, n_max)`` matrix aligned with the padded batch convention (zero on
     padding slots), or ``None`` when the trace has no ``release`` column.
     """
-    required = {"instance", "volume", "weight", "delta"}
-    groups: list[tuple[str, list[Task], list[float]]] = []
-    has_release = False
-    with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
-            raise InvalidInstanceError(
-                f"trace {os.fspath(path)!r} must have columns {sorted(required)}; "
-                f"got {reader.fieldnames}"
-            )
-        has_release = "release" in reader.fieldnames
-        for row in reader:
-            key = row["instance"]
-            task = Task(
-                volume=float(row["volume"]),
-                weight=float(row["weight"]),
-                delta=min(float(row["delta"]), P),
-            )
-            release = float(row["release"]) if has_release and row.get("release") else 0.0
-            if not groups or groups[-1][0] != key:
-                groups.append((key, [], []))
-            groups[-1][1].append(task)
-            groups[-1][2].append(release)
-    if not groups:
-        raise InvalidInstanceError(f"trace {os.fspath(path)!r} contains no tasks")
-    if max_instances is not None:
-        groups = groups[:max_instances]
-    instances = [Instance(P=P, tasks=tasks) for _, tasks, _ in groups]
-    if not has_release:
-        return instances, None
-    n_max = max(inst.n for inst in instances)
-    releases = np.zeros((len(instances), n_max))
-    for b, (_, _, row_releases) in enumerate(groups):
-        row_n = len(row_releases)
-        releases[b, :row_n] = row_releases
-    return instances, releases
+    from repro.scenarios.stream import stream_trace
+
+    chunks = list(
+        stream_trace(path, P, chunk_size=None, max_instances=max_instances, fmt=fmt)
+    )
+    chunk = chunks[0]  # chunk_size=None packs the whole trace into one chunk
+    return chunk.batch.to_instances(), chunk.releases
 
 
 # --------------------------------------------------------------------- #
@@ -247,11 +229,34 @@ def build_cell_workload(
         kwargs = dict(gen_kwargs)
         trace = kwargs.pop("trace")
         P = float(kwargs.pop("P", 1.0))
+        # chunk_size routes the cell to the streaming replay path of the
+        # runner; when the in-memory path runs anyway (direct calls, tests)
+        # it only controls reader batching, which is invisible here.
+        kwargs.pop("chunk_size", None)
+        fmt = str(kwargs.pop("format", "auto"))
         if kwargs:
             raise InvalidInstanceError(
-                f"trace_replay accepts only 'trace' and 'P' parameters, got {sorted(kwargs)}"
+                "trace_replay accepts only 'trace', 'P', 'chunk_size' and "
+                f"'format' parameters, got {sorted(kwargs)}"
             )
-        instances, releases = load_trace(trace, P=P, max_instances=count)
+        instances, releases = load_trace(trace, P=P, max_instances=count, fmt=fmt)
+        process = arrival.get("process") if arrival else None
+        if releases is not None:
+            if process not in (None, "none", "trace"):
+                # Mirror of the draw_release_times 'trace' guard: the trace
+                # already fixes every arrival, so a synthetic process in the
+                # spec can only mean a misconfigured sweep — failing beats
+                # silently ignoring it.
+                raise InvalidInstanceError(
+                    f"trace {os.fspath(trace)!r} supplies release times; "
+                    f"arrival process {process!r} conflicts — drop the "
+                    "arrivals table or declare process = 'trace'"
+                )
+        elif process == "trace":
+            raise InvalidInstanceError(
+                f"arrival process 'trace' requires a 'release' column in "
+                f"trace {os.fspath(trace)!r}"
+            )
     else:
         from repro.workloads import generators
 

@@ -127,6 +127,21 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             params={"trace": _sample_trace_path(), "P": 8.0},
             count=64,
         ),
+        ScenarioSpec(
+            name="trace-stream",
+            description=(
+                "Streamed trace replay: the same trace flows through the "
+                "chunked reader and online accumulators of "
+                "repro.scenarios.stream — O(chunk) memory at any trace length"
+            ),
+            generator="trace_replay",
+            pipeline="policies",
+            # chunk_size=4 exercises several chunk boundaries even on the
+            # 8-instance sample trace; production traces raise it to
+            # thousands (the default of stream_trace is 4096).
+            params={"trace": _sample_trace_path(), "P": 8.0, "chunk_size": 4},
+            count=64,
+        ),
     ]
 }
 

@@ -73,6 +73,10 @@ def _policies_cell(
     from repro.scenarios.families import build_cell_workload
 
     gen_kwargs, count, arrival, weight = split_cell_params(spec, cell)
+    if spec.generator == "trace_replay" and int(gen_kwargs.get("chunk_size") or 0) > 0:
+        return _streamed_trace_cell(
+            spec, cell, gen_kwargs, count, arrival, weight, kernel, precision
+        )
     instances, releases = build_cell_workload(
         spec.generator, gen_kwargs, count, arrival, weight, cell.seed
     )
@@ -131,6 +135,57 @@ def _policies_cell(
             }
     return [
         _record(spec, cell, label, len(instances), metrics)
+        for label, metrics in per_policy.items()
+    ]
+
+
+def _streamed_trace_cell(
+    spec: ScenarioSpec,
+    cell: ScenarioCell,
+    gen_kwargs: Mapping[str, Any],
+    count: int,
+    arrival: Mapping[str, Any],
+    weight: Mapping[str, Any],
+    kernel: str,
+    precision: str,
+) -> list[dict[str, Any]]:
+    """Evaluate a ``trace_replay`` cell without materialising the trace.
+
+    Taken whenever the cell carries a positive ``chunk_size`` parameter: the
+    trace streams through :func:`repro.scenarios.stream.replay_stream` in
+    ``chunk_size``-instance batches and online accumulators produce the same
+    metrics — up to floating-point reassociation — as the in-memory path on
+    the same ``count``-instance prefix.  Peak memory is O(chunk), so a
+    million-row trace replays in a bounded footprint on every backend.
+    """
+    from repro.core.exceptions import InvalidInstanceError
+    from repro.scenarios.stream import replay_stream
+
+    kwargs = dict(gen_kwargs)
+    trace = kwargs.pop("trace")
+    P = float(kwargs.pop("P", 1.0))
+    chunk_size = int(kwargs.pop("chunk_size"))
+    fmt = str(kwargs.pop("format", "auto"))
+    if kwargs:
+        raise InvalidInstanceError(
+            "trace_replay accepts only 'trace', 'P', 'chunk_size' and "
+            f"'format' parameters, got {sorted(kwargs)}"
+        )
+    per_policy, total = replay_stream(
+        trace,
+        P,
+        chunk_size=chunk_size,
+        policies=spec.policies,
+        max_instances=count,
+        fmt=fmt,
+        weight=weight or None,
+        arrival=arrival or None,
+        seed=cell.seed,
+        kernel=kernel,
+        precision=precision,
+    )
+    return [
+        _record(spec, cell, label, total, metrics)
         for label, metrics in per_policy.items()
     ]
 

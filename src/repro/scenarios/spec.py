@@ -36,7 +36,14 @@ import tomllib
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
-__all__ = ["ScenarioSpec", "PIPELINES", "POLICY_NAMES", "METRIC_NAMES", "PIPELINE_METRICS"]
+__all__ = [
+    "ScenarioSpec",
+    "PIPELINES",
+    "POLICY_NAMES",
+    "METRIC_NAMES",
+    "PIPELINE_METRICS",
+    "TRACE_FORMATS",
+]
 
 #: The cell-execution pipelines understood by the sweep runner.
 PIPELINES = ("policies", "bandwidth", "solver-timing")
@@ -61,6 +68,10 @@ ARRIVAL_PROCESSES = ("none", "poisson", "bursty-poisson", "trace")
 
 #: Weight distributions understood by :mod:`repro.scenarios.families`.
 WEIGHT_DISTS = ("pareto", "lognormal")
+
+#: Trace file formats understood by :mod:`repro.scenarios.stream`
+#: (``"auto"`` decides by file extension, falling back to content sniffing).
+TRACE_FORMATS = ("auto", "csv", "jsonl")
 
 
 def _freeze(value: Any) -> Any:
@@ -205,8 +216,26 @@ class ScenarioSpec:
         # The generator name is resolved lazily by the runner (so specs can be
         # built without importing NumPy-heavy modules), but the trace family
         # needs its path immediately to fail fast on typos.
-        if self.generator == "trace_replay" and "trace" not in self.params:
-            raise ValueError("generator 'trace_replay' requires params.trace (a CSV path)")
+        if self.generator == "trace_replay":
+            if "trace" not in self.params:
+                raise ValueError(
+                    "generator 'trace_replay' requires params.trace (a CSV/JSONL path)"
+                )
+            chunk_size = self.params.get("chunk_size")
+            if chunk_size is not None and (
+                not isinstance(chunk_size, int)
+                or isinstance(chunk_size, bool)
+                or chunk_size <= 0
+            ):
+                raise ValueError(
+                    f"trace_replay params.chunk_size must be a positive integer, "
+                    f"got {chunk_size!r}"
+                )
+            fmt = self.params.get("format")
+            if fmt is not None and fmt not in TRACE_FORMATS:
+                raise ValueError(
+                    f"trace_replay params.format must be one of {TRACE_FORMATS}, got {fmt!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # Round trips

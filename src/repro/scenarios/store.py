@@ -36,7 +36,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.scenarios.grid import format_params
 from repro.viz.tables import format_markdown_table, format_table
 
-__all__ = ["ResultsStore", "summary_table", "load_records"]
+__all__ = ["ResultsStore", "summary_table", "load_records", "merge_records"]
 
 RECORDS_FILE_NAME = "results.jsonl"
 SUMMARY_FILE_NAME = "summary.md"
@@ -75,6 +75,51 @@ def summary_table(
             row.append("-" if value is None else f"{float(value):.6g}")
         rows.append(row)
     return headers, rows
+
+
+def merge_records(records: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate partial records sharing a ``(scenario, cell, label)`` key.
+
+    The streaming replay path (:func:`repro.scenarios.stream.replay_stream`)
+    and interrupted/chunked sweeps persist *partial* records — one per
+    processed chunk.  This folds them back into one record per key, exactly
+    as if the whole cell had run in memory:
+
+    * ``mean_*`` metrics (and any unprefixed metric) combine as
+      ``count``-weighted means;
+    * ``max_*`` metrics take the maximum, ``min_*`` metrics the minimum;
+    * ``count`` values sum; the first record's ``params`` / ``seed`` win.
+
+    Insertion order of first appearance is preserved, so merging is stable
+    and idempotent; merged summary tables are tolerance-identical to the
+    single-pass tables (asserted in ``tests/test_stream.py``).
+    """
+    merged: dict[tuple[Any, Any, Any], dict[str, Any]] = {}
+    for record in records:
+        key = (record["scenario"], record["cell"], record["label"])
+        count = int(record.get("count", 1))
+        if key not in merged:
+            base = dict(record)
+            base["count"] = count
+            base["metrics"] = dict(record.get("metrics", {}))
+            merged[key] = base
+            continue
+        base = merged[key]
+        previous = int(base["count"])
+        total = previous + count
+        metrics = base["metrics"]
+        for name, value in record.get("metrics", {}).items():
+            value = float(value)
+            if name not in metrics:
+                metrics[name] = value
+            elif name.startswith("max_"):
+                metrics[name] = max(float(metrics[name]), value)
+            elif name.startswith("min_"):
+                metrics[name] = min(float(metrics[name]), value)
+            else:
+                metrics[name] = (float(metrics[name]) * previous + value * count) / total
+        base["count"] = total
+    return list(merged.values())
 
 
 def load_records(path: str | os.PathLike) -> list[dict[str, Any]]:
@@ -130,9 +175,33 @@ class ResultsStore:
                 count += 1
         return count
 
+    def append_records(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Append records without truncating (the streaming/chunked path).
+
+        One ``open`` per call, so a replay that appends its partial records
+        chunk-by-chunk stays O(chunk) in memory; returns the appended count.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        count = 0
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        return count
+
     def load(self) -> list[dict[str, Any]]:
         """Read the stored records back."""
         return load_records(self.records_path)
+
+    def write_merged_summary(self, metrics: Sequence[str] = (), title: str = "") -> str:
+        """Merge the stored (possibly partial) records and write the summary.
+
+        Reads ``results.jsonl`` back, folds partial records through
+        :func:`merge_records` and renders ``summary.md`` — the finishing
+        step of a streamed or resumed sweep, producing the same table a
+        single-pass run writes.
+        """
+        return self.write_summary(merge_records(self.load()), metrics, title=title)
 
     def write_summary(
         self, records: Sequence[Mapping[str, Any]], metrics: Sequence[str] = (), title: str = ""

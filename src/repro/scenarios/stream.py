@@ -1,0 +1,616 @@
+"""Streaming trace ingestion: validated `InstanceBatch` chunks from disk.
+
+:func:`repro.scenarios.families.load_trace` materialises a whole trace as
+Python lists before the first instance is usable — fine for the 43-row sample
+trace, hopeless for the million-row production traces the ROADMAP targets.
+This module is the scaling tier underneath it: a trace is read **row by row**
+(:func:`iter_trace_rows`), grouped into instances, and yielded as padded
+:class:`~repro.core.batch.InstanceBatch` chunks of a configurable size
+(:func:`stream_trace`) — peak memory is ``O(chunk_size)``, never
+``O(trace)``, and ``max_instances`` stops *reading* early instead of
+truncating after the fact.
+
+Two trace formats share one validation path:
+
+``csv``
+    A header row with at least the columns ``instance``, ``volume``,
+    ``weight`` and ``delta``; an optional ``release`` column carries per-task
+    release times.
+``jsonl``
+    One JSON object per line with the same keys; the first row decides
+    whether the trace carries release times.
+
+Validation is strict — the silent-corruption modes of the original loader
+are errors here: an empty/missing ``release`` cell raises (instead of
+fabricating ``0.0``), a reappearing ``instance`` key raises (instead of
+silently splitting the group), non-positive or non-finite fields raise, and
+a ``delta`` above ``P`` is clamped *loudly* (one warning per file, naming the
+first offending data row).
+
+On top of the reader, :func:`replay_stream` runs the whole ``policies``
+pipeline online: per-chunk :func:`repro.batch.sim_kernels.simulate_batch`
+calls feed :class:`StreamingMoments` accumulators (Chan's parallel
+mean/variance update), so the final metrics match the in-memory path up to
+floating-point reassociation without ever holding more than one chunk.
+Chunks can optionally be dispatched through
+:meth:`repro.exec.ExecutionContext.map_batch`, riding the process pool and
+the shared-memory transport unchanged.
+
+Examples
+--------
+>>> from repro.scenarios.stream import stream_trace
+>>> chunks = list(stream_trace(
+...     "scenarios/traces/sample_trace.csv", P=8.0, chunk_size=3
+... ))  # doctest: +SKIP
+>>> [c.batch.batch_size for c in chunks]  # doctest: +SKIP
+[3, 3, 2]
+"""
+
+from __future__ import annotations
+
+import csv
+import functools
+import json
+import math
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.batch import InstanceBatch
+from repro.core.exceptions import InvalidInstanceError
+from repro.scenarios.spec import TRACE_FORMATS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ExecutionContext
+
+__all__ = [
+    "TraceChunk",
+    "StreamingMoments",
+    "iter_trace_rows",
+    "stream_trace",
+    "replay_stream",
+]
+
+#: Columns every trace row must carry (``release`` is optional per file).
+REQUIRED_COLUMNS = ("instance", "volume", "weight", "delta")
+
+#: Default number of instances per streamed chunk.
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Smallest redrawn weight (mirrors :data:`repro.scenarios.families.MIN_VALUE`).
+_MIN_VALUE = 1e-3
+
+
+def _row_error(path: str, row_number: int, message: str) -> InvalidInstanceError:
+    return InvalidInstanceError(f"trace {path!r}, data row {row_number}: {message}")
+
+
+def _parse_field(path: str, row_number: int, name: str, value: Any) -> float:
+    try:
+        parsed = float(value)
+    except (TypeError, ValueError):
+        raise _row_error(path, row_number, f"column {name!r} is not a number: {value!r}") from None
+    if not math.isfinite(parsed):
+        raise _row_error(path, row_number, f"column {name!r} must be finite, got {parsed}")
+    return parsed
+
+
+def _detect_format(path: str, fmt: str) -> str:
+    if fmt not in TRACE_FORMATS:
+        raise InvalidInstanceError(
+            f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+        )
+    if fmt != "auto":
+        return fmt
+    suffix = os.path.splitext(path)[1].lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return "jsonl"
+    if suffix == ".csv":
+        return "csv"
+    # Unknown extension: sniff — a JSONL trace starts with an object.
+    with open(path, encoding="utf-8") as handle:
+        head = handle.read(64).lstrip()
+    return "jsonl" if head.startswith("{") else "csv"
+
+
+def iter_trace_rows(
+    path: str | os.PathLike, fmt: str = "auto"
+) -> Iterator[tuple[int, str, float, float, float, float | None]]:
+    """Yield validated trace rows one at a time, never loading the file.
+
+    Yields ``(row_number, instance_key, volume, weight, delta, release)``
+    with 1-based data-row numbers (the CSV header is row 0); ``release`` is
+    ``None`` exactly when the trace has no release column.  ``fmt`` is
+    ``"csv"``, ``"jsonl"`` or ``"auto"`` (decided by the file extension,
+    falling back to content sniffing).
+
+    Raises :class:`~repro.core.exceptions.InvalidInstanceError`, always
+    naming the offending data row, for: missing required columns,
+    non-numeric or non-finite fields, ``volume <= 0``, ``weight < 0``,
+    ``delta <= 0``, and a ``release`` cell that is empty or missing in a
+    trace that carries release times (the old loader silently zero-filled
+    those — fabricated arrival times corrupt every downstream metric).
+    """
+    path = os.fspath(path)
+    resolved = _detect_format(path, fmt)
+    rows = _iter_csv_rows(path) if resolved == "csv" else _iter_jsonl_rows(path)
+    for row_number, key, volume, weight, delta, release in rows:
+        if volume <= 0:
+            raise _row_error(path, row_number, f"volume must be positive, got {volume}")
+        if weight < 0:
+            raise _row_error(path, row_number, f"weight must be non-negative, got {weight}")
+        if delta <= 0:
+            raise _row_error(path, row_number, f"delta must be positive, got {delta}")
+        yield row_number, key, volume, weight, delta, release
+
+
+def _iter_csv_rows(path: str) -> Iterator[tuple[int, str, float, float, float, float | None]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not set(REQUIRED_COLUMNS).issubset(reader.fieldnames):
+            raise InvalidInstanceError(
+                f"trace {path!r} must have columns {sorted(REQUIRED_COLUMNS)}; "
+                f"got {reader.fieldnames}"
+            )
+        has_release = "release" in reader.fieldnames
+        for row_number, row in enumerate(reader, start=1):
+            key = row["instance"]
+            if key is None or key == "":
+                raise _row_error(path, row_number, "column 'instance' is empty")
+            volume = _parse_field(path, row_number, "volume", row["volume"])
+            weight = _parse_field(path, row_number, "weight", row["weight"])
+            delta = _parse_field(path, row_number, "delta", row["delta"])
+            release: float | None = None
+            if has_release:
+                cell = row.get("release")
+                if cell is None or cell == "":
+                    raise _row_error(
+                        path, row_number,
+                        "empty 'release' cell in a trace with release times "
+                        "(a fabricated 0.0 arrival would corrupt the replay)",
+                    )
+                release = _parse_field(path, row_number, "release", cell)
+            yield row_number, key, volume, weight, delta, release
+
+
+def _iter_jsonl_rows(path: str) -> Iterator[tuple[int, str, float, float, float, float | None]]:
+    has_release: bool | None = None
+    with open(path, encoding="utf-8") as handle:
+        row_number = 0
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row_number += 1
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise _row_error(path, row_number, f"invalid JSON: {exc}") from None
+            if not isinstance(row, dict):
+                raise _row_error(path, row_number, f"expected a JSON object, got {type(row).__name__}")
+            missing = [name for name in REQUIRED_COLUMNS if name not in row]
+            if missing:
+                raise _row_error(path, row_number, f"missing keys {missing}")
+            key = str(row["instance"])
+            if not key:
+                raise _row_error(path, row_number, "key 'instance' is empty")
+            volume = _parse_field(path, row_number, "volume", row["volume"])
+            weight = _parse_field(path, row_number, "weight", row["weight"])
+            delta = _parse_field(path, row_number, "delta", row["delta"])
+            if has_release is None:
+                has_release = "release" in row
+            release: float | None = None
+            if has_release:
+                if "release" not in row or row["release"] is None:
+                    raise _row_error(
+                        path, row_number,
+                        "missing 'release' key in a trace with release times "
+                        "(a fabricated 0.0 arrival would corrupt the replay)",
+                    )
+                release = _parse_field(path, row_number, "release", row["release"])
+            elif "release" in row:
+                raise _row_error(
+                    path, row_number,
+                    "unexpected 'release' key (the first row declared a trace "
+                    "without release times)",
+                )
+            yield row_number, key, volume, weight, delta, release
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One streamed slice of a trace: a padded batch plus its release times.
+
+    Attributes
+    ----------
+    batch:
+        ``chunk_size`` (or fewer, for the final chunk) instances packed as a
+        :class:`~repro.core.batch.InstanceBatch`; the padding width is the
+        chunk-local maximum task count, not the whole trace's.
+    releases:
+        Dense ``(B, n_max)`` release-time matrix aligned with the batch
+        (zero on padding slots), or ``None`` when the trace has no release
+        column.
+    start:
+        Index of the chunk's first instance within the trace (0-based).
+    """
+
+    batch: InstanceBatch
+    releases: np.ndarray | None
+    start: int
+
+
+def _build_chunk(
+    groups: list[tuple[list[float], list[float], list[float], list[float]]],
+    P: float,
+    start: int,
+    has_release: bool,
+) -> TraceChunk:
+    B = len(groups)
+    n_max = max(max(len(g[0]) for g in groups), 1)
+    volumes = np.zeros((B, n_max))
+    weights = np.zeros((B, n_max))
+    deltas = np.ones((B, n_max))
+    mask = np.zeros((B, n_max), dtype=bool)
+    releases = np.zeros((B, n_max)) if has_release else None
+    for b, (vol, wgt, dlt, rel) in enumerate(groups):
+        n = len(vol)
+        volumes[b, :n] = vol
+        weights[b, :n] = wgt
+        deltas[b, :n] = dlt
+        mask[b, :n] = True
+        if releases is not None:
+            releases[b, :n] = rel
+    batch = InstanceBatch.from_arrays(
+        P=np.full(B, float(P)), volumes=volumes, weights=weights, deltas=deltas, mask=mask
+    )
+    return TraceChunk(batch=batch, releases=releases, start=start)
+
+
+def stream_trace(
+    path: str | os.PathLike,
+    P: float,
+    chunk_size: int | None = DEFAULT_CHUNK_SIZE,
+    max_instances: int | None = None,
+    fmt: str = "auto",
+) -> Iterator[TraceChunk]:
+    """Stream a trace as validated :class:`TraceChunk` slices.
+
+    Rows sharing an ``instance`` key form one instance and must be
+    consecutive; a key that *reappears* after its group closed raises
+    (naming the row) instead of silently splitting the instance in two.
+    A ``delta`` above ``P`` is clamped to ``P`` with a single warning per
+    file naming the first offending data row.  ``max_instances`` stops
+    **reading** after that many complete groups — the remainder of the file
+    is never parsed — and ``chunk_size=None`` packs everything into one
+    chunk (the in-memory :func:`repro.scenarios.families.load_trace` path).
+
+    Peak memory is ``O(chunk_size x n_max_of_chunk)`` plus the set of seen
+    instance keys; the full trace is never materialised.
+    """
+    path = os.fspath(path)
+    if chunk_size is not None and chunk_size <= 0:
+        raise InvalidInstanceError(f"chunk_size must be positive, got {chunk_size}")
+    if P <= 0:
+        raise InvalidInstanceError(f"P must be positive, got {P}")
+    seen: set[str] = set()
+    pending: list[tuple[list[float], list[float], list[float], list[float]]] = []
+    current: tuple[list[float], list[float], list[float], list[float]] | None = None
+    current_key: str | None = None
+    has_release = False
+    clamp_warned = False
+    emitted = 0
+    done = False
+    for row_number, key, volume, weight, delta, release in iter_trace_rows(path, fmt=fmt):
+        has_release = release is not None
+        if delta > P:
+            if not clamp_warned:
+                warnings.warn(
+                    f"trace {path!r}: delta={delta} exceeds P={P} first at data "
+                    f"row {row_number}; clamping to P",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                clamp_warned = True
+            delta = P
+        if key != current_key:
+            if key in seen:
+                raise _row_error(
+                    path, row_number,
+                    f"instance key {key!r} reappears after its group ended "
+                    "(rows of one instance must be consecutive)",
+                )
+            seen.add(key)
+            if current is not None:
+                pending.append(current)
+                if max_instances is not None and emitted + len(pending) >= max_instances:
+                    done = True
+                    current = None
+                    break
+            current = ([], [], [], [])
+            current_key = key
+        assert current is not None
+        current[0].append(volume)
+        current[1].append(weight)
+        current[2].append(delta)
+        current[3].append(release if release is not None else 0.0)
+        if chunk_size is not None and len(pending) >= chunk_size:
+            yield _build_chunk(pending[:chunk_size], P, emitted, has_release)
+            emitted += chunk_size
+            pending = pending[chunk_size:]
+    if current is not None:
+        pending.append(current)
+        if max_instances is not None and emitted + len(pending) > max_instances:
+            pending = pending[: max_instances - emitted]
+    if done and max_instances is not None:
+        pending = pending[: max_instances - emitted]
+    while chunk_size is not None and len(pending) >= chunk_size:
+        yield _build_chunk(pending[:chunk_size], P, emitted, has_release)
+        emitted += chunk_size
+        pending = pending[chunk_size:]
+    if pending:
+        yield _build_chunk(pending, P, emitted, has_release)
+        emitted += len(pending)
+    if emitted == 0:
+        raise InvalidInstanceError(f"trace {path!r} contains no tasks")
+
+
+# --------------------------------------------------------------------- #
+# Online accumulators
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class StreamingMoments:
+    """Online mean / variance / extrema over a stream of value batches.
+
+    Welford's single-value update generalised to whole NumPy batches via
+    Chan's parallel formula: each :meth:`update` folds a batch's count,
+    mean and sum-of-squared-deviations into the running state, and
+    :meth:`merge` combines two independent accumulators — so chunked,
+    sharded and single-pass computations of the same values agree up to
+    floating-point reassociation (property-tested in
+    ``tests/test_stream.py``).
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = field(default=0.0, repr=False)
+    max: float = float("-inf")
+    min: float = float("inf")
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of values into the running moments."""
+        values = np.asarray(values, dtype=float).ravel()
+        n = int(values.size)
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+        total = self.count + n
+        delta = batch_mean - self.mean
+        self.m2 += batch_m2 + delta * delta * self.count * n / total
+        self.mean += delta * n / total
+        self.count = total
+        self.max = max(self.max, float(values.max()))
+        self.min = min(self.min, float(values.min()))
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine with an independently accumulated ``other`` (pure)."""
+        if other.count == 0:
+            return StreamingMoments(self.count, self.mean, self.m2, self.max, self.min)
+        if self.count == 0:
+            return StreamingMoments(other.count, other.mean, other.m2, other.max, other.min)
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        return StreamingMoments(
+            count=total,
+            mean=self.mean + delta * other.count / total,
+            m2=self.m2 + other.m2 + delta * delta * self.count * other.count / total,
+            max=max(self.max, other.max),
+            min=min(self.min, other.min),
+        )
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the values seen so far (0 for < 2 values)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the values seen so far."""
+        return math.sqrt(self.variance)
+
+
+# --------------------------------------------------------------------- #
+# Streamed policy replay
+# --------------------------------------------------------------------- #
+
+
+def _redraw_weights_batch(
+    batch: InstanceBatch, weight: Mapping[str, Any], rng: np.random.Generator
+) -> InstanceBatch:
+    """Array-level twin of :func:`repro.scenarios.families.redraw_weights`.
+
+    Draws per instance (``size=n``, in row order) from the same generator
+    stream, so a streamed replay redraws *identical* weights to the
+    in-memory path as long as one ``rng`` threads through the chunks.
+    """
+    dist = weight.get("dist")
+    if dist is None:
+        return batch
+    counts = batch.counts
+    new_weights = np.zeros_like(batch.weights)
+    for b in range(batch.batch_size):
+        n = int(counts[b])
+        if dist == "pareto":
+            alpha = float(weight.get("alpha", 1.5))
+            if alpha <= 0:
+                raise InvalidInstanceError(f"pareto alpha must be positive, got {alpha}")
+            scale = float(weight.get("scale", 1.0))
+            draws = scale * (1.0 + rng.pareto(alpha, size=n))
+        elif dist == "lognormal":
+            mu = float(weight.get("mu", 0.0))
+            sigma = float(weight.get("sigma", 1.0))
+            draws = rng.lognormal(mean=mu, sigma=sigma, size=n)
+        else:
+            raise InvalidInstanceError(f"unknown weight distribution {dist!r}")
+        new_weights[b, :n] = np.maximum(draws, _MIN_VALUE)
+    return InstanceBatch(
+        P=batch.P,
+        volumes=batch.volumes,
+        weights=new_weights,
+        deltas=batch.deltas,
+        mask=batch.mask,
+        names=batch.names,
+    )
+
+
+def _simulate_rows(
+    policy_name: str,
+    kernel: str,
+    precision: str,
+    batch: InstanceBatch,
+    extra: Mapping[str, np.ndarray] | None = None,
+) -> list[tuple[float, float, float]]:
+    """Per-row ``(ratio, objective, makespan)`` triples for one policy.
+
+    Module-level and row-independent, so
+    :meth:`repro.exec.ExecutionContext.map_batch` can pickle a
+    ``functools.partial`` of it into pool workers and slice the chunk (and
+    its ``releases`` extra array) over the shared-memory transport.
+    """
+    from repro.batch.kernels import combined_lower_bound_batch
+    from repro.batch.sim_kernels import default_batch_policies, simulate_batch
+
+    releases = extra["releases"] if extra else None
+    policy = next(
+        (p for p in default_batch_policies(batch) if p.name == policy_name), None
+    )
+    if policy is None:
+        raise InvalidInstanceError(f"unknown policy {policy_name!r}")
+    bounds = combined_lower_bound_batch(batch)
+    safe = np.where(bounds > 0, bounds, 1.0)
+    result = simulate_batch(
+        batch, policy, release_times=releases, kernel=kernel, precision=precision
+    )
+    objectives = result.weighted_completion_times()
+    ratios = np.where(bounds > 0, objectives / safe, 1.0)
+    makespans = result.makespans()
+    return list(zip(ratios.tolist(), objectives.tolist(), makespans.tolist()))
+
+
+def replay_stream(
+    trace: str | os.PathLike,
+    P: float,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    policies: tuple[str, ...] = (),
+    max_instances: int | None = None,
+    fmt: str = "auto",
+    weight: Mapping[str, Any] | None = None,
+    arrival: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    kernel: str = "numpy",
+    precision: str = "float64",
+    ctx: "ExecutionContext | None" = None,
+    on_chunk: Callable[[TraceChunk, dict[str, dict[str, float]]], None] | None = None,
+) -> tuple[dict[str, dict[str, float]], int]:
+    """Replay a trace through the online policies without loading it whole.
+
+    Streams the trace in ``chunk_size``-instance slices, simulates each
+    chunk with every requested policy (``policies`` empty means the full
+    default line-up) and folds per-row ratios / objectives / makespans into
+    :class:`StreamingMoments`.  Returns ``(per_policy_metrics, total)`` with
+    the same metric names — and, up to floating-point reassociation, the
+    same values — as the in-memory ``policies`` pipeline on the same prefix.
+
+    ``weight`` applies the redistribution of
+    :func:`repro.scenarios.families.redraw_weights` chunk-by-chunk from one
+    ``default_rng(seed)`` stream (identical draws to the in-memory path).
+    ``arrival`` may only name the ``"trace"`` process (release times must
+    come from the trace itself): synthetic arrivals draw from a
+    ``(count, n_max)`` matrix whose shape a stream cannot know upfront.
+
+    ``ctx`` dispatches each chunk's rows through
+    :meth:`~repro.exec.ExecutionContext.map_batch` — the process-pool and
+    shared-memory transports apply per chunk, unchanged.  ``on_chunk`` is
+    called after each chunk with the chunk and its *chunk-local* metrics
+    (what :func:`repro.scenarios.store.merge_records` aggregates back into
+    the exact stream totals).
+    """
+    process = (arrival or {}).get("process")
+    if process not in (None, "none", "trace"):
+        raise InvalidInstanceError(
+            f"streaming trace replay cannot draw synthetic arrivals "
+            f"(process {process!r}): release times must come from the trace "
+            "itself, or drop params.chunk_size to use the in-memory path"
+        )
+    rng = np.random.default_rng(seed)
+    accumulators: dict[str, dict[str, StreamingMoments]] = {}
+    total = 0
+    first_chunk = True
+    for chunk in stream_trace(
+        trace, P, chunk_size=chunk_size, max_instances=max_instances, fmt=fmt
+    ):
+        if first_chunk:
+            first_chunk = False
+            if chunk.releases is not None and process not in (None, "none", "trace"):
+                raise InvalidInstanceError(  # pragma: no cover - guarded above
+                    f"trace supplies release times; arrival process {process!r} conflicts"
+                )
+            if chunk.releases is None and process == "trace":
+                raise InvalidInstanceError(
+                    f"arrival process 'trace' requires a 'release' column in "
+                    f"trace {os.fspath(trace)!r}"
+                )
+        batch = chunk.batch
+        if weight:
+            batch = _redraw_weights_batch(batch, weight, rng)
+        from repro.batch.sim_kernels import default_batch_policies
+
+        names = [
+            p.name
+            for p in default_batch_policies(batch)
+            if not policies or p.name in policies
+        ]
+        extra = {"releases": chunk.releases} if chunk.releases is not None else None
+        chunk_metrics: dict[str, dict[str, float]] = {}
+        for name in names:
+            worker = functools.partial(_simulate_rows, name, kernel, precision)
+            if ctx is not None:
+                triples = ctx.map_batch(worker, batch, extra=extra)
+            else:
+                triples = worker(batch, extra)
+            values = np.asarray(triples, dtype=float).reshape(batch.batch_size, 3)
+            if name not in accumulators:
+                accumulators[name] = {
+                    "ratio": StreamingMoments(),
+                    "objective": StreamingMoments(),
+                    "makespan": StreamingMoments(),
+                }
+            accumulators[name]["ratio"].update(values[:, 0])
+            accumulators[name]["objective"].update(values[:, 1])
+            accumulators[name]["makespan"].update(values[:, 2])
+            chunk_metrics[name] = {
+                "mean_ratio": float(values[:, 0].mean()),
+                "max_ratio": float(values[:, 0].max()),
+                "mean_objective": float(values[:, 1].mean()),
+                "mean_makespan": float(values[:, 2].mean()),
+            }
+        total += batch.batch_size
+        if on_chunk is not None:
+            on_chunk(chunk, chunk_metrics)
+    per_policy = {
+        name: {
+            "mean_ratio": acc["ratio"].mean,
+            "max_ratio": acc["ratio"].max,
+            "mean_objective": acc["objective"].mean,
+            "mean_makespan": acc["makespan"].mean,
+        }
+        for name, acc in accumulators.items()
+    }
+    return per_policy, total

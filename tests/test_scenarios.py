@@ -251,7 +251,8 @@ def _table_close(a, b, rtol=1e-9, atol=1e-9):
 
 class TestBackendIndependence:
     @pytest.mark.parametrize(
-        "toml_name", ["poisson_bursts.toml", "trace_replay.toml", "heavy_tailed.toml"]
+        "toml_name",
+        ["poisson_bursts.toml", "trace_replay.toml", "heavy_tailed.toml", "trace_stream.toml"],
     )
     def test_committed_spec_identical_on_serial_and_vectorized(self, toml_name):
         """The acceptance bar: every committed TOML spec, full grid, end to

@@ -100,10 +100,11 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
     "scenarios.md": (
         "repro.scenarios — declarative sweeps",
         "The scenario engine: TOML-loadable specs, deterministic grid "
-        "expansion, arrival/weight families, the backend-agnostic sweep "
-        "runner and the JSON-lines results store.",
+        "expansion, arrival/weight families, the streaming trace reader, "
+        "the backend-agnostic sweep runner and the JSON-lines results store.",
         ["repro.scenarios.spec", "repro.scenarios.grid", "repro.scenarios.families",
-         "repro.scenarios.runner", "repro.scenarios.store", "repro.scenarios.registry"],
+         "repro.scenarios.stream", "repro.scenarios.runner", "repro.scenarios.store",
+         "repro.scenarios.registry"],
     ),
 }
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Synthesise large CSV/JSONL traces for the streaming replay pipeline.
+
+Writes a trace in the format :mod:`repro.scenarios.stream` ingests — rows
+grouped by ``instance`` key with ``volume``, ``weight``, ``delta`` and
+(optionally) monotone per-instance ``release`` columns — at any size, in
+O(1) memory: rows are generated instance-by-instance and flushed in buffered
+batches, so a 10-million-row trace costs no more RAM than a 10-row one.
+
+Used by ``benchmarks/bench_trace.py`` and the CI large-trace smoke step to
+prove the streamed sweep's peak memory is independent of trace length.
+
+Usage::
+
+    python tools/gen_trace.py --out big.csv --rows 1200000
+    python tools/gen_trace.py --out big.jsonl --instances 50000 --tasks 3:12
+    python tools/gen_trace.py --out norel.csv --rows 100000 --release-rate 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+#: Rows buffered between writes — bounds memory while keeping I/O batched.
+FLUSH_EVERY = 20_000
+
+
+def parse_tasks(value: str) -> tuple[int, int]:
+    """Parse a ``MIN:MAX`` task-count range (or a single fixed count)."""
+    parts = value.split(":")
+    if len(parts) == 1:
+        low = high = int(parts[0])
+    elif len(parts) == 2:
+        low, high = int(parts[0]), int(parts[1])
+    else:
+        raise argparse.ArgumentTypeError(f"expected MIN:MAX or N, got {value!r}")
+    if low <= 0 or high < low:
+        raise argparse.ArgumentTypeError(f"need 0 < MIN <= MAX, got {value!r}")
+    return low, high
+
+
+def generate(
+    out: str,
+    fmt: str,
+    rows_target: int | None,
+    instances_target: int | None,
+    tasks: tuple[int, int],
+    P: float,
+    release_rate: float,
+    seed: int,
+) -> tuple[int, int]:
+    """Write the trace; returns ``(instances, rows)`` actually written."""
+    rng = np.random.default_rng(seed)
+    has_release = release_rate > 0
+    rows_written = 0
+    instance_index = 0
+    arrival = 0.0
+    buffer: list[str] = []
+    with open(out, "w", newline="", encoding="utf-8") as handle:
+        if fmt == "csv":
+            header = "instance,volume,weight,delta"
+            buffer.append(header + ",release\n" if has_release else header + "\n")
+        while True:
+            if instances_target is not None:
+                if instance_index >= instances_target:
+                    break
+            elif rows_target is not None and rows_written >= rows_target:
+                break
+            n = int(rng.integers(tasks[0], tasks[1] + 1))
+            key = f"job{instance_index:08d}"
+            volumes = np.round(rng.uniform(0.1, 5.0, size=n), 4)
+            weights = np.round(rng.uniform(0.1, 3.0, size=n), 4)
+            deltas = np.round(rng.uniform(1.0, P, size=n), 4)
+            if has_release:
+                # Instances arrive as a Poisson stream; tasks of one instance
+                # land shortly after it, in non-decreasing order.
+                arrival += float(rng.exponential(1.0 / release_rate))
+                offsets = np.sort(rng.exponential(0.5, size=n))
+                releases = np.round(arrival + np.cumsum(offsets), 4)
+            for i in range(n):
+                if fmt == "csv":
+                    fields = f"{key},{volumes[i]},{weights[i]},{deltas[i]}"
+                    if has_release:
+                        fields += f",{releases[i]}"
+                    buffer.append(fields + "\n")
+                else:
+                    row = {
+                        "instance": key,
+                        "volume": float(volumes[i]),
+                        "weight": float(weights[i]),
+                        "delta": float(deltas[i]),
+                    }
+                    if has_release:
+                        row["release"] = float(releases[i])
+                    buffer.append(json.dumps(row) + "\n")
+            rows_written += n
+            instance_index += 1
+            if len(buffer) >= FLUSH_EVERY:
+                handle.writelines(buffer)
+                buffer.clear()
+        handle.writelines(buffer)
+    return instance_index, rows_written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", required=True, help="output trace path (.csv or .jsonl)")
+    parser.add_argument(
+        "--rows", type=int, default=None,
+        help="stop after at least this many data rows (default 1,000,000 unless --instances)",
+    )
+    parser.add_argument(
+        "--instances", type=int, default=None,
+        help="write exactly this many instances (overrides --rows)",
+    )
+    parser.add_argument(
+        "--tasks", type=parse_tasks, default=(2, 10), metavar="MIN:MAX",
+        help="tasks per instance, uniform in [MIN, MAX] (default 2:10)",
+    )
+    parser.add_argument("--P", type=float, default=8.0, help="platform size (default 8.0)")
+    parser.add_argument(
+        "--release-rate", type=float, default=1.0,
+        help="instance arrival rate for the release column; 0 omits the column",
+    )
+    parser.add_argument(
+        "--format", choices=("auto", "csv", "jsonl"), default="auto",
+        help="trace format (auto: decided by the --out extension)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    args = parser.parse_args(argv)
+
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "jsonl" if os.path.splitext(args.out)[1].lower() in (".jsonl", ".ndjson") else "csv"
+    if args.instances is None and args.rows is None:
+        args.rows = 1_000_000
+    if args.release_rate < 0:
+        parser.error(f"--release-rate must be >= 0, got {args.release_rate}")
+
+    start = time.perf_counter()
+    instances, rows = generate(
+        args.out, fmt, args.rows, args.instances, args.tasks, args.P,
+        args.release_rate, args.seed,
+    )
+    elapsed = time.perf_counter() - start
+    size_mb = os.path.getsize(args.out) / 1e6
+    print(
+        f"wrote {args.out}: {rows} rows, {instances} instances, "
+        f"{size_mb:.1f} MB ({fmt}) in {elapsed:.1f}s "
+        f"({rows / max(elapsed, 1e-9):,.0f} rows/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
