@@ -176,6 +176,12 @@ class SubmitTask:
     (clamped to the platform size by the server).  ``task_id`` is optional —
     the server assigns ``t<N>`` when omitted.  ``now`` is the event's
     virtual time; servers running a wall clock ignore it.
+
+    ``idempotency_key`` makes retries safe: the first accepted submission
+    under a key is remembered (journaled and snapshotted on durable
+    servers), and any later submit carrying the same key — including after
+    a reconnect or a server crash-restart — returns the stored reply with
+    ``deduplicated=True`` instead of creating a second task.
     """
 
     volume: float
@@ -184,15 +190,21 @@ class SubmitTask:
     task_id: "str | None" = None
     client: str = ""
     now: "float | None" = None
+    idempotency_key: "str | None" = None
 
 
 @dataclass(frozen=True)
 class CancelTask:
-    """Cancel a previously submitted task (a no-op once it completed)."""
+    """Cancel a previously submitted task (a no-op once it completed).
+
+    ``idempotency_key`` has the same retry-exactly-once semantics as on
+    :class:`SubmitTask`.
+    """
 
     task_id: str
     client: str = ""
     now: "float | None" = None
+    idempotency_key: "str | None" = None
 
 
 @dataclass(frozen=True)
@@ -253,12 +265,18 @@ class SimulateRequest:
 
 @dataclass(frozen=True)
 class SubmitReply:
-    """Acknowledges an accepted submission (rejections are ErrorReply)."""
+    """Acknowledges an accepted submission (rejections are ErrorReply).
+
+    ``deduplicated=True`` marks a retry that was absorbed by the server's
+    idempotency table: the reply is the stored acknowledgement of the
+    first submission and no new task was created.
+    """
 
     task_id: str
     now: float
     share: float
     live_tasks: int
+    deduplicated: bool = False
 
 
 @dataclass(frozen=True)
@@ -305,12 +323,23 @@ class MetricsReply:
 
 @dataclass(frozen=True)
 class HealthReply:
-    """Service liveness: ``status`` is ``ok`` or ``draining``."""
+    """Service liveness: ``status`` is ``ok`` or ``draining``.
+
+    The recovery-status fields describe the startup of a *durable* server
+    (one configured with a journal directory): ``durable`` says whether a
+    write-ahead journal is active, ``recovered_events`` how many journal
+    records were replayed on top of the latest snapshot at startup, and
+    ``recovery_seconds`` how long snapshot load + suffix replay took.  On
+    an in-memory server all three keep their zero defaults.
+    """
 
     status: str
     now: float
     live_tasks: int
     draining: bool
+    durable: bool = False
+    recovered_events: int = 0
+    recovery_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

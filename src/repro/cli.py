@@ -43,6 +43,14 @@ synthetic open-loop workload against it::
     malleable-repro loadgen --port 7461 --clients 50 --tasks 40
     malleable-repro loadgen --spawn-server --clients 200 --min-rps 1000
 
+Serve durably (write-ahead journal + snapshots, crash recovery on
+restart), inspect the journal, and crash-test the whole stack by killing
+and restarting the server mid-run::
+
+    malleable-repro serve --port 7461 --journal-dir ./journal --fsync interval
+    malleable-repro journal ./journal --verify --tail 5
+    malleable-repro loadgen --spawn-server --retries 5 --chaos-kill-after 2
+
 Launch cluster worker nodes and shard a sweep over them::
 
     malleable-repro workers --port 7500 --count 3
@@ -241,6 +249,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="seconds to wait for open connections on SIGTERM before stopping",
     )
+    serve_parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable durable state: append accepted submits/cancels to a "
+            "CRC-framed write-ahead journal in DIR and recover (snapshot + "
+            "replay) from it on startup"
+        ),
+    )
+    serve_parser.add_argument(
+        "--fsync",
+        default="interval",
+        choices=("always", "interval", "off"),
+        help=(
+            "journal fsync policy: 'always' per record, 'interval' at most "
+            "every --fsync-interval seconds, 'off' page-cache durability only"
+        ),
+    )
+    serve_parser.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.05,
+        help="max seconds between fsyncs under --fsync interval",
+    )
+    serve_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1000,
+        help=(
+            "write a full state snapshot (and compact covered journal "
+            "segments) every N journaled records (0 disables)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="journal segment rotation threshold in bytes",
+    )
+
+    journal_parser = subparsers.add_parser(
+        "journal",
+        help="inspect a service journal directory (read-only; never truncates)",
+    )
+    journal_parser.add_argument(
+        "directory", help="journal directory (as given to `serve --journal-dir`)"
+    )
+    journal_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="CRC-scan every segment (default: only the tail segment is decoded)",
+    )
+    journal_parser.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the last N decoded records",
+    )
+    journal_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="print the full report as JSON instead of a table",
+    )
 
     loadgen_parser = subparsers.add_parser(
         "loadgen",
@@ -276,6 +350,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--cancel-ratio", type=float, default=0.05, help="cancellations issued per submission"
     )
     loadgen_parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "per-request reconnect-and-retry attempts with exponential "
+            "backoff; mutations get idempotency keys so retries apply "
+            "exactly once against a durable server (0 fails fast)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --spawn-server: make the spawned server durable (defaults "
+            "to a temporary directory under --chaos-kill-after)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--chaos-kill-after",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "with --spawn-server: run the server as a subprocess, SIGKILL it "
+            "after SECONDS mid-run and restart it from its journal "
+            "(0 disables)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--chaos-no-restart",
+        action="store_true",
+        help="with --chaos-kill-after: leave the server dead instead of restarting it",
+    )
     loadgen_parser.add_argument(
         "--min-rps",
         type=float,
@@ -635,14 +744,27 @@ def _run_serve(args: argparse.Namespace) -> int:
         rate_burst=args.rate_burst,
         virtual_time=args.virtual_time,
         drain_grace=args.drain_grace,
+        journal_dir=args.journal_dir,
+        fsync=args.fsync,
+        fsync_interval=args.fsync_interval,
+        snapshot_every=args.snapshot_every,
+        segment_bytes=args.segment_bytes,
     )
     service = SchedulerService(config)
 
     async def _serve() -> None:
         await service.start()
         host, port = service.address
-        print(f"malleable-repro service listening on {host}:{port}")
+        banner = service.recovery_banner()
+        if banner:
+            print(f"  {banner}", flush=True)
+        print(f"malleable-repro service listening on {host}:{port}", flush=True)
         print(f"  P={config.P} policy={config.policy} max_live_tasks={config.max_live_tasks}")
+        if config.journal_dir:
+            print(
+                f"  durable: journal at {config.journal_dir} "
+                f"(fsync={config.fsync}, snapshot every {config.snapshot_every})"
+            )
         print("  NDJSON requests on the socket; GET /metrics and /health over HTTP")
         await service.serve_forever(install_signals=True)
 
@@ -653,18 +775,105 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pick_free_port(host: str) -> int:
+    """Reserve a port number a restarted server subprocess can rebind."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
+async def _spawn_serve_subprocess(args: argparse.Namespace, port: int, journal_dir: str):
+    """Launch `serve` as a killable subprocess; returns once it is listening."""
+    import asyncio
+
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = await asyncio.create_subprocess_exec(
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--host",
+        args.host,
+        "--port",
+        str(port),
+        "--journal-dir",
+        journal_dir,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.STDOUT,
+        env=env,
+    )
+    assert process.stdout is not None
+    while True:
+        line = await process.stdout.readline()
+        if not line:
+            raise SystemExit("loadgen: the spawned server exited before listening")
+        if b"listening on" in line:
+            return process
+
+
+async def _chaos_cycle(
+    holder: dict, args: argparse.Namespace, port: int, journal_dir: str
+) -> None:
+    """SIGKILL the server subprocess mid-run, then (optionally) restart it.
+
+    SIGKILL gives the server no chance to flush or snapshot — the journal
+    tail may tear mid-record, which is exactly the recovery path the
+    restarted process must absorb.
+    """
+    import asyncio
+    import contextlib
+
+    await asyncio.sleep(args.chaos_kill_after)
+    process = holder["process"]
+    with contextlib.suppress(ProcessLookupError):
+        process.kill()
+    await process.wait()
+    holder["killed"] = True
+    if not args.chaos_no_restart:
+        holder["process"] = await _spawn_serve_subprocess(args, port, journal_dir)
+        holder["restarted"] = True
+
+
 def _run_loadgen(args: argparse.Namespace) -> int:
     """The ``loadgen`` subcommand: replay an open-loop workload, print a report."""
     import asyncio
+    import contextlib
     import json
+    import tempfile
 
     from repro.service import LoadgenConfig, SchedulerService, ServiceConfig, run_loadgen_async
 
+    chaos = args.chaos_kill_after > 0
+    if chaos and not args.spawn_server:
+        raise SystemExit("loadgen: --chaos-kill-after requires --spawn-server")
+    holder: dict = {"process": None, "killed": False, "restarted": False}
+
     async def _run():
         service = None
+        killer = None
+        tmpdir = None
         host, port = args.host, args.port
-        if args.spawn_server:
-            service = SchedulerService(ServiceConfig(port=0))
+        if args.spawn_server and chaos:
+            # The server must live in its own process so SIGKILL is a real
+            # crash, and on a pre-picked port so the restart is reachable at
+            # the same address the clients retry against.
+            journal_dir = args.journal_dir
+            if journal_dir is None:
+                tmpdir = tempfile.TemporaryDirectory(prefix="repro-journal-")
+                journal_dir = tmpdir.name
+            host, port = args.host, _pick_free_port(args.host)
+            holder["process"] = await _spawn_serve_subprocess(args, port, journal_dir)
+            killer = asyncio.ensure_future(_chaos_cycle(holder, args, port, journal_dir))
+        elif args.spawn_server:
+            service = SchedulerService(
+                ServiceConfig(port=0, journal_dir=args.journal_dir)
+            )
             await service.start()
             host, port = service.address
         try:
@@ -678,11 +887,23 @@ def _run_loadgen(args: argparse.Namespace) -> int:
                 query_ratio=args.query_ratio,
                 cancel_ratio=args.cancel_ratio,
                 seed=args.seed,
+                retries=args.retries,
             )
             return await run_loadgen_async(config)
         finally:
+            if killer is not None:
+                killer.cancel()
+                with contextlib.suppress(asyncio.CancelledError, SystemExit):
+                    await killer
+            process = holder["process"]
+            if process is not None:
+                with contextlib.suppress(ProcessLookupError):
+                    process.kill()
+                await process.wait()
             if service is not None:
                 await service.shutdown()
+            if tmpdir is not None:
+                tmpdir.cleanup()
 
     report = asyncio.run(_run())
     if args.json_output:
@@ -696,17 +917,83 @@ def _run_loadgen(args: argparse.Namespace) -> int:
             ["cancels", str(report.cancels)],
             ["errors", str(report.errors)],
             ["protocol errors", str(report.protocol_errors)],
+            ["retried", str(report.retried)],
+            ["deduplicated", str(report.deduplicated)],
+            ["unavailable", str(report.unavailable)],
             ["duration (s)", f"{report.duration:.3f}"],
             ["requests/s", f"{report.rps:.1f}"],
             ["latency p50 (ms)", f"{report.latency.get('p50', 0.0) * 1e3:.3f}"],
             ["latency p99 (ms)", f"{report.latency.get('p99', 0.0) * 1e3:.3f}"],
         ]
         print(format_table(["metric", "value"], rows))
+    if chaos:
+        # Keep stdout machine-readable under --json: the summary is diagnostic.
+        chaos_out = sys.stderr if args.json_output else sys.stdout
+        if holder["killed"]:
+            outcome = "restarted" if holder["restarted"] else "left dead"
+            print(
+                f"chaos: server killed after {args.chaos_kill_after:.1f}s and {outcome}; "
+                f"{report.retried} retried, {report.deduplicated} deduplicated, "
+                f"{report.unavailable} unavailable",
+                file=chaos_out,
+            )
+        else:
+            print(
+                f"chaos: run finished before the {args.chaos_kill_after:.1f}s "
+                "kill fired (nothing was injected)",
+                file=chaos_out,
+            )
     if report.protocol_errors:
         print("ERROR: protocol errors during load generation")
         return 1
     if args.min_rps and report.rps < args.min_rps:
         print(f"ERROR: throughput {report.rps:.1f} req/s is below --min-rps {args.min_rps:.1f}")
+        return 1
+    return 0
+
+
+def _run_journal(args: argparse.Namespace) -> int:
+    """The ``journal`` subcommand: describe a journal directory, read-only."""
+    import json
+
+    from repro.service import inspect_journal
+
+    report = inspect_journal(args.directory, verify=args.verify, tail=args.tail)
+    if args.json_output:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if "error" in report:
+            print(f"journal {report['directory']}: {report['error']}")
+            return 1
+        rows = []
+        for segment in report["segments"]:
+            rows.append(
+                [
+                    segment["file"],
+                    str(segment["bytes"]),
+                    "-".join(str(s) for s in segment.get("seq_range", [])) or "?",
+                    str(segment.get("records", "?")),
+                    str(segment.get("corrupt_bytes", segment.get("torn_tail_bytes", 0))),
+                ]
+            )
+        print(f"journal {report['directory']}: {len(report['segments'])} segment(s)")
+        if rows:
+            print(format_table(["segment", "bytes", "seqs", "records", "bad bytes"], rows))
+        for snapshot in report["snapshots"]:
+            validity = "ok" if snapshot["valid"] else "INVALID"
+            print(f"snapshot {snapshot['file']}: seq {snapshot['seq']} ({validity})")
+        if report["torn_tail_bytes"]:
+            print(
+                f"torn tail: {report['torn_tail_bytes']} bytes (normal after a "
+                "crash; the next recovering server truncates them)"
+            )
+        if args.tail and report.get("tail"):
+            print(f"last {len(report['tail'])} record(s):")
+            for record in report["tail"]:
+                print(f"  {json.dumps(record, sort_keys=True)}")
+    corrupt = any("corrupt_bytes" in segment for segment in report["segments"])
+    if corrupt:
+        print("ERROR: corrupt bytes inside a sealed segment")
         return 1
     return 0
 
@@ -799,6 +1086,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "loadgen":
         return _run_loadgen(args)
+
+    if args.command == "journal":
+        return _run_journal(args)
 
     if args.command == "workers":
         return _run_workers(args)

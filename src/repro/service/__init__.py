@@ -14,14 +14,27 @@ virtual time instead of replaying from ``t = 0``.
   messages (plus the minimal HTTP responses for ``/metrics`` / ``/health``);
 * :mod:`repro.service.metrics` — latency histograms, counters and gauges;
 * :mod:`repro.service.ratelimit` — per-client token buckets;
+* :mod:`repro.service.journal` — durability: the CRC-framed write-ahead
+  journal, snapshots, idempotency table and crash recovery;
 * :mod:`repro.service.server` — the asyncio server with admission control
   and graceful drain;
-* :mod:`repro.service.client` — the asyncio client;
+* :mod:`repro.service.client` — the asyncio client, with typed
+  :class:`~repro.service.client.ServiceUnavailable` transport errors and
+  idempotent reconnect-and-retry;
 * :mod:`repro.service.loadgen` — the synthetic load driver built on the
   :mod:`repro.scenarios` arrival families.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.journal import (
+    IdempotencyTable,
+    Journal,
+    JournalCorruptError,
+    ServiceDurability,
+    SnapshotStore,
+    inspect_journal,
+    recover_state,
+)
 from repro.service.loadgen import LoadgenConfig, LoadReport, run_loadgen, run_loadgen_async
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.ratelimit import ClientRateLimiter, TokenBucket
@@ -36,6 +49,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
+    "Journal",
+    "JournalCorruptError",
+    "SnapshotStore",
+    "IdempotencyTable",
+    "ServiceDurability",
+    "recover_state",
+    "inspect_journal",
     "LoadgenConfig",
     "LoadReport",
     "run_loadgen",

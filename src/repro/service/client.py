@@ -7,11 +7,23 @@ The typed helpers (:meth:`~ServiceClient.submit`, …) raise
 :class:`~repro.api.ErrorReply`; :meth:`~ServiceClient.request` returns the
 raw reply dataclass for callers (the load generator) that want to count
 errors instead of raising.
+
+Transport failures — refused connections, resets, EOF mid-reply — never
+surface as raw ``OSError``: they are mapped to :class:`ServiceUnavailable`,
+which records the *phase* the connection died in and therefore whether a
+blind retry is safe (``connect``: nothing was sent; ``send`` / ``reply``:
+the request may already have been applied).  With ``retries > 0`` the
+client reconnects and retries with exponential backoff and jitter; the
+typed mutating helpers attach an ``idempotency_key`` automatically, which
+makes *every* phase retry-safe — a durable server deduplicates the key, so
+the retried request is applied exactly once even across a server restart.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
+import uuid
 
 from repro.api import (
     CancelReply,
@@ -21,7 +33,6 @@ from repro.api import (
     HealthRequest,
     MetricsReply,
     MetricsRequest,
-    ProtocolError,
     QueryShare,
     QueryState,
     ShareReply,
@@ -33,7 +44,17 @@ from repro.api import (
 )
 from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+#: Requests with no server-side effects: replaying one can never
+#: double-apply anything, so every transport phase is retry-safe.
+_READ_ONLY_REQUESTS = (
+    QueryShare,
+    QueryState,
+    MetricsRequest,
+    HealthRequest,
+    SimulateRequest,
+)
 
 
 class ServiceError(Exception):
@@ -45,6 +66,33 @@ class ServiceError(Exception):
         self.message = message
 
 
+class ServiceUnavailable(ConnectionError):
+    """The service could not be reached, or the connection died mid-request.
+
+    ``phase`` pins down *where* the transport failed and decides
+    ``retry_safe``:
+
+    * ``"connect"`` — the connection could not be opened; nothing was sent,
+      so a retry is always safe;
+    * ``"send"`` — the connection died while writing the request; the
+      server may or may not have received it;
+    * ``"reply"`` — the request was sent but the connection closed before a
+      full reply arrived; the server may already have applied it.
+
+    For ``send``/``reply`` failures ``retry_safe`` is False: blindly
+    re-issuing a mutation could apply it twice.  Requests that carry an
+    ``idempotency_key`` are exempt — the server deduplicates them — which
+    is why :meth:`ServiceClient.submit` / :meth:`ServiceClient.cancel`
+    generate keys automatically whenever retries are enabled.
+    """
+
+    def __init__(self, phase: str, cause: "BaseException | None" = None):
+        detail = f": {cause}" if cause else ""
+        super().__init__(f"service unavailable ({phase}){detail}")
+        self.phase = phase
+        self.retry_safe = phase == "connect"
+
+
 class ServiceClient:
     """One NDJSON connection to a :class:`~repro.service.SchedulerService`.
 
@@ -54,20 +102,51 @@ class ServiceClient:
             reply = await client.submit(volume=4.0, weight=2.0, delta=2.0)
     """
 
-    def __init__(self, host: str, port: int, client_id: str = ""):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str = "",
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        seed: "int | None" = None,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0 or backoff_max < backoff:
+            raise ValueError(
+                f"need 0 < backoff <= backoff_max, got {backoff} / {backoff_max}"
+            )
         self.host = host
         self.port = int(port)
         self.client_id = client_id
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        #: Transport/retry counters: ``unavailable`` transport failures seen,
+        #: ``retries`` reconnect-and-resend attempts, ``deduplicated`` replies
+        #: the server answered from its idempotency table.
+        self.stats = {"unavailable": 0, "retries": 0, "deduplicated": 0}
+        self._rng = random.Random(seed)
         self._reader: "asyncio.StreamReader | None" = None
         self._writer: "asyncio.StreamWriter | None" = None
         self._lock = asyncio.Lock()
 
     async def connect(self) -> "ServiceClient":
-        """Open the connection (no-op when already connected)."""
+        """Open the connection (no-op when already connected).
+
+        Raises :class:`ServiceUnavailable` (phase ``connect``,
+        ``retry_safe=True``) when the service cannot be reached.
+        """
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port, limit=MAX_LINE_BYTES
-            )
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+            except (ConnectionError, OSError) as exc:
+                raise ServiceUnavailable("connect", exc) from exc
         return self
 
     async def close(self) -> None:
@@ -89,18 +168,49 @@ class ServiceClient:
     async def request(self, message: object) -> object:
         """Send one request and return the raw reply dataclass.
 
-        Raises :class:`~repro.api.ProtocolError` only on transport-level
-        failures (connection closed mid-reply); server-side rejections come
-        back as :class:`~repro.api.ErrorReply` values.
+        Transport failures raise :class:`ServiceUnavailable`; server-side
+        rejections come back as :class:`~repro.api.ErrorReply` values.  With
+        ``retries > 0`` the client reconnects and re-sends after a transport
+        failure — always for ``connect`` failures and read-only requests,
+        but only when ``message`` carries an ``idempotency_key`` for
+        ``send``/``reply`` failures of a mutation (anything else might
+        double-apply it).
         """
+        idempotent = bool(getattr(message, "idempotency_key", None)) or isinstance(
+            message, _READ_ONLY_REQUESTS
+        )
+        delay = self.backoff
+        for attempt in range(self.retries + 1):
+            try:
+                return await self._request_once(message)
+            except ServiceUnavailable as exc:
+                self.stats["unavailable"] += 1
+                if attempt >= self.retries or not (exc.retry_safe or idempotent):
+                    raise
+                self.stats["retries"] += 1
+                # Full jitter: sleep U(0, delay), then double toward the cap.
+                await asyncio.sleep(self._rng.uniform(0.0, delay))
+                delay = min(delay * 2.0, self.backoff_max)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _request_once(self, message: object) -> object:
         await self.connect()
         assert self._reader is not None and self._writer is not None
         async with self._lock:
-            self._writer.write(encode_line(message))
-            await self._writer.drain()
-            line = await self._reader.readline()
+            try:
+                self._writer.write(encode_line(message))
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                await self.close()
+                raise ServiceUnavailable("send", exc) from exc
+            try:
+                line = await self._reader.readline()
+            except (ConnectionError, OSError) as exc:
+                await self.close()
+                raise ServiceUnavailable("reply", exc) from exc
         if not line:
-            raise ProtocolError("connection closed by server")
+            await self.close()
+            raise ServiceUnavailable("reply")  # EOF before a full reply
         return decode_line(line)
 
     async def _checked(self, message: object) -> object:
@@ -113,6 +223,17 @@ class ServiceClient:
     # Typed helpers
     # ----------------------------------------------------------------- #
 
+    def _mutation_key(self, idempotency_key: "str | None") -> "str | None":
+        """The key to attach to a mutating request.
+
+        With retries enabled every mutation gets a key (generated when the
+        caller did not supply one), so ``send``/``reply`` failures become
+        retry-safe; without retries, unkeyed requests stay unkeyed.
+        """
+        if idempotency_key is not None or self.retries == 0:
+            return idempotency_key
+        return uuid.uuid4().hex
+
     async def submit(
         self,
         volume: float,
@@ -120,6 +241,7 @@ class ServiceClient:
         delta: float = 1.0,
         task_id: "str | None" = None,
         now: "float | None" = None,
+        idempotency_key: "str | None" = None,
     ) -> SubmitReply:
         """Submit a task; returns the server's acknowledgement."""
         reply = await self._checked(
@@ -130,15 +252,28 @@ class ServiceClient:
                 task_id=task_id,
                 client=self.client_id,
                 now=now,
+                idempotency_key=self._mutation_key(idempotency_key),
             )
         )
         assert isinstance(reply, SubmitReply)
+        if reply.deduplicated:
+            self.stats["deduplicated"] += 1
         return reply
 
-    async def cancel(self, task_id: str, now: "float | None" = None) -> CancelReply:
+    async def cancel(
+        self,
+        task_id: str,
+        now: "float | None" = None,
+        idempotency_key: "str | None" = None,
+    ) -> CancelReply:
         """Cancel a task by id."""
         reply = await self._checked(
-            CancelTask(task_id=task_id, client=self.client_id, now=now)
+            CancelTask(
+                task_id=task_id,
+                client=self.client_id,
+                now=now,
+                idempotency_key=self._mutation_key(idempotency_key),
+            )
         )
         assert isinstance(reply, CancelReply)
         return reply

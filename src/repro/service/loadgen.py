@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.api import CancelTask, ErrorReply, QueryShare, SubmitTask
 from repro.scenarios.families import draw_release_times
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceUnavailable
 
 __all__ = ["LoadgenConfig", "LoadReport", "run_loadgen", "run_loadgen_async"]
 
@@ -60,11 +60,15 @@ class LoadgenConfig:
     query_ratio: float = 0.25
     cancel_ratio: float = 0.05
     seed: int = 0
+    retries: int = 0  # per-request reconnect attempts (0: fail fast)
+    backoff: float = 0.05  # initial retry backoff, seconds
 
     def validate(self) -> None:
         """Fail fast on nonsensical settings (before any connection opens)."""
         if self.clients <= 0 or self.tasks_per_client <= 0:
             raise ValueError("clients and tasks_per_client must be positive")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.arrival not in ARRIVALS:
             raise ValueError(f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
         if self.weight_dist not in _WEIGHT_DISTS:
@@ -89,6 +93,13 @@ class LoadReport:
     cancels: int = 0
     errors: int = 0
     protocol_errors: int = 0
+    #: Transport-level outcomes (meaningful under retries / chaos runs):
+    #: ``retried`` reconnect-and-resend attempts, ``deduplicated`` replies the
+    #: server answered from its idempotency table (the retried request was
+    #: already applied), ``unavailable`` requests that failed even after retries.
+    retried: int = 0
+    deduplicated: int = 0
+    unavailable: int = 0
     error_codes: "dict[str, int]" = field(default_factory=dict)
     duration: float = 0.0
     rps: float = 0.0
@@ -104,6 +115,9 @@ class LoadReport:
             "cancels": self.cancels,
             "errors": self.errors,
             "protocol_errors": self.protocol_errors,
+            "retried": self.retried,
+            "deduplicated": self.deduplicated,
+            "unavailable": self.unavailable,
             "error_codes": dict(sorted(self.error_codes.items())),
             "duration_s": self.duration,
             "rps": self.rps,
@@ -153,6 +167,8 @@ class _Collector:
                 r.protocol_errors += 1
             return
         r.replies += 1
+        if getattr(reply, "deduplicated", False):
+            r.deduplicated += 1
         if kind == "submit":
             r.submitted += 1
         elif kind == "query":
@@ -160,10 +176,13 @@ class _Collector:
         elif kind == "cancel":
             r.cancels += 1
 
-    def transport_failure(self) -> None:
+    def transport_failure(self, unavailable: bool = False) -> None:
         self.report.requests += 1
         self.report.errors += 1
-        self.report.protocol_errors += 1
+        if unavailable:
+            self.report.unavailable += 1
+        else:
+            self.report.protocol_errors += 1
 
 
 async def _run_client(
@@ -178,7 +197,17 @@ async def _run_client(
     lo, hi = config.volume_range
     volumes = rng.uniform(lo, hi, size=config.tasks_per_client)
     deltas = rng.integers(1, max(2, int(config.delta_max) + 1), size=config.tasks_per_client)
-    client = ServiceClient(config.host, config.port, client_id=f"loadgen-{index}")
+    client = ServiceClient(
+        config.host,
+        config.port,
+        client_id=f"loadgen-{index}",
+        retries=config.retries,
+        backoff=config.backoff,
+        seed=config.seed * 100_003 + index,
+    )
+    # Deterministic idempotency keys make every retried mutation exactly-once
+    # against a durable server (only attached when retries are enabled).
+    keyed = config.retries > 0
     loop = asyncio.get_running_loop()
     my_tasks: "list[str]" = []
     try:
@@ -192,6 +221,7 @@ async def _run_client(
                 weight=float(weights[k]),
                 delta=float(deltas[k]),
                 client=client.client_id,
+                idempotency_key=f"lg-{config.seed}-{index}-{k}" if keyed else None,
             )
             await _issue(client, "submit", message, collector, my_tasks)
             if my_tasks and rng.random() < config.query_ratio:
@@ -208,13 +238,20 @@ async def _run_client(
                 await _issue(
                     client,
                     "cancel",
-                    CancelTask(task_id=victim, client=client.client_id),
+                    CancelTask(
+                        task_id=victim,
+                        client=client.client_id,
+                        idempotency_key=f"lgc-{config.seed}-{index}-{k}" if keyed else None,
+                    ),
                     collector,
                     my_tasks,
                 )
+    except ServiceUnavailable:
+        collector.transport_failure(unavailable=True)
     except (ConnectionError, OSError):
         collector.transport_failure()
     finally:
+        collector.report.retried += client.stats["retries"]
         await client.close()
 
 
@@ -228,6 +265,9 @@ async def _issue(
     start = time.perf_counter()
     try:
         reply = await client.request(message)
+    except ServiceUnavailable:
+        collector.transport_failure(unavailable=True)
+        return
     except Exception:  # noqa: BLE001 - transport failure, tallied not raised
         collector.transport_failure()
         return

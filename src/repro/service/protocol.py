@@ -21,6 +21,7 @@ Everything here is transport-only; message semantics live in
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any
 
 from repro.api import REGISTRY, MessageRegistry, ProtocolError
@@ -29,6 +30,8 @@ __all__ = [
     "MAX_LINE_BYTES",
     "encode_line",
     "decode_line",
+    "crc_frame",
+    "crc_unframe",
     "sniff_http_path",
     "http_response",
 ]
@@ -67,6 +70,41 @@ def decode_line(
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"invalid JSON: {exc}") from None
     return registry.decode(payload)
+
+
+def crc_frame(body: bytes) -> bytes:
+    """Frame one record for durable storage: ``crc32-hex SP body LF``.
+
+    The CRC-32 covers exactly ``body``; the newline terminator makes the
+    frames greppable NDJSON when the body is JSON.  This is the framing of
+    the write-ahead journal and its snapshots
+    (:mod:`repro.service.journal`): a crash mid-write leaves either a
+    partial line (no ``\\n``) or a line whose checksum no longer matches —
+    both detected by :func:`crc_unframe` returning ``None``.
+    """
+    if b"\n" in body:
+        raise ValueError("CRC-framed bodies must not contain newlines")
+    return f"{zlib.crc32(body) & 0xFFFFFFFF:08x} ".encode("ascii") + body + b"\n"
+
+
+def crc_unframe(line: bytes) -> "bytes | None":
+    """Validate one :func:`crc_frame` line; the body, or None when torn.
+
+    ``None`` covers every way a record can be damaged: missing newline
+    (partial write), malformed prefix, or a CRC mismatch (bit rot, or a
+    write torn mid-body).  Callers treat ``None`` at the journal tail as
+    the truncation point.
+    """
+    if not line.endswith(b"\n"):
+        return None
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        want = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:-1]
+    return body if (zlib.crc32(body) & 0xFFFFFFFF) == want else None
 
 
 def sniff_http_path(first_line: bytes) -> "str | None":

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import signal
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -52,6 +53,7 @@ from repro.api import (
 )
 from repro.core.batch import InstanceBatch
 from repro.core.exceptions import ReproError
+from repro.service.journal import FSYNC_POLICIES, IdempotencyTable, ServiceDurability
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -70,6 +72,8 @@ from repro.service.state import (
 
 __all__ = ["ServiceConfig", "SchedulerService"]
 
+_log = logging.getLogger("repro.service")
+
 
 @dataclass
 class ServiceConfig:
@@ -81,6 +85,16 @@ class ServiceConfig:
     ``rate_limit`` is per-client requests/second (0 disables), and
     ``max_live_tasks`` is the admission ceiling on concurrently running
     tasks.
+
+    Setting ``journal_dir`` makes the service *durable*: every accepted
+    submit/cancel is appended to the CRC-framed write-ahead journal of
+    :mod:`repro.service.journal` before it is acknowledged, a snapshot of
+    the full state is written every ``snapshot_every`` journaled records
+    (covered segments are compacted away), and startup recovers the live
+    system as snapshot + journal-suffix replay.  ``fsync`` picks the
+    durability/throughput trade-off (``always`` | ``interval`` | ``off``;
+    see the journal module docs), and ``idempotency_capacity`` bounds the
+    retried-request deduplication table (LRU beyond it).
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +108,12 @@ class ServiceConfig:
     atol: float = 1e-10
     drain_grace: float = 5.0
     kernel: str = "auto"  # event-loop tier; 'auto' uses compiled when numba is installed
+    journal_dir: "str | None" = None  # None: in-memory only (no durability)
+    fsync: str = "interval"  # 'always' | 'interval' | 'off'
+    fsync_interval: float = 0.05
+    segment_bytes: int = 4 * 1024 * 1024
+    snapshot_every: int = 1000  # journaled records per snapshot (0 disables)
+    idempotency_capacity: int = 100_000
 
 
 class SchedulerService:
@@ -101,17 +121,57 @@ class SchedulerService:
 
     def __init__(self, config: "ServiceConfig | None" = None):
         self.config = config or ServiceConfig()
-        self.state = LiveSystemState(
-            P=self.config.P,
-            policy=self.config.policy,
-            atol=self.config.atol,
-            kernel=self.config.kernel,
-        )
+        if self.config.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.config.fsync!r}"
+            )
         self.metrics = MetricsRegistry()
+        self.idempotency = IdempotencyTable(self.config.idempotency_capacity)
+        self.durability: "ServiceDurability | None" = None
+        self.recovery_seconds = 0.0
+        self.recovered_events = 0
+        self.rejected = 0
+        if self.config.journal_dir is not None:
+            self.durability = ServiceDurability(
+                self.config.journal_dir,
+                fsync=self.config.fsync,
+                fsync_interval=self.config.fsync_interval,
+                segment_bytes=self.config.segment_bytes,
+                snapshot_every=self.config.snapshot_every,
+                observe=self.metrics.observe,
+            )
+            recovery = self.durability.recover(
+                P=self.config.P,
+                policy=self.config.policy,
+                atol=self.config.atol,
+                kernel=self.config.kernel,
+            )
+            self.state = recovery.state
+            self.idempotency.load(recovery.idempotency)
+            self.rejected = recovery.rejected
+            self.recovery_seconds = recovery.seconds
+            self.recovered_events = recovery.recovered_events
+            self.metrics.observe("recovery", recovery.seconds)
+            _log.info(
+                "recovered service state from %s: snapshot seq %d + %d journal "
+                "records in %.3fs (%d torn-tail bytes truncated, %d live tasks)",
+                self.config.journal_dir,
+                recovery.snapshot_seq,
+                recovery.recovered_events,
+                recovery.seconds,
+                recovery.truncated_bytes,
+                self.state.live_count,
+            )
+        else:
+            self.state = LiveSystemState(
+                P=self.config.P,
+                policy=self.config.policy,
+                atol=self.config.atol,
+                kernel=self.config.kernel,
+            )
         self.limiter = ClientRateLimiter(
             self.config.rate_limit, self.config.rate_burst
         )
-        self.rejected = 0
         self.draining = False
         self.address: "tuple[str, int] | None" = None
         self._t0 = time.monotonic()
@@ -127,6 +187,37 @@ class SchedulerService:
         self.metrics.register_gauge("sim_events", lambda: self.state.total_events)
         self.metrics.register_gauge("connections", lambda: len(self._connections))
         self.metrics.register_gauge("draining", lambda: float(self.draining))
+        self.metrics.register_gauge("idempotency_entries", lambda: len(self.idempotency))
+        if self.durability is not None:
+            durability = self.durability
+            self.metrics.register_gauge(
+                "journal_bytes", lambda: float(durability.journal.size_bytes)
+            )
+            self.metrics.register_gauge(
+                "journal_segments", lambda: float(len(durability.journal.segment_paths()))
+            )
+            self.metrics.register_gauge(
+                "journal_last_seq", lambda: float(durability.journal.last_seq)
+            )
+            self.metrics.register_gauge(
+                "snapshots_written", lambda: float(durability.snapshots_written)
+            )
+            self.metrics.register_gauge("recovery_seconds", lambda: self.recovery_seconds)
+            self.metrics.register_gauge(
+                "recovered_events", lambda: float(self.recovered_events)
+            )
+
+    def recovery_banner(self) -> "str | None":
+        """One human-readable startup line about recovery (None when in-memory)."""
+        if self.durability is None or self.durability.last_recovery is None:
+            return None
+        recovery = self.durability.last_recovery
+        return (
+            f"recovered {recovery.recovered_events} journal records on top of "
+            f"snapshot seq {recovery.snapshot_seq} in {recovery.seconds:.3f}s "
+            f"({recovery.truncated_bytes} torn-tail bytes truncated, "
+            f"{self.state.live_count} live tasks, clock t={self.state.now:.6g})"
+        )
 
     # ----------------------------------------------------------------- #
     # Synchronous request handling (shared by wire and in-process paths)
@@ -182,9 +273,43 @@ class SchedulerService:
         finally:
             self.metrics.observe(name, time.perf_counter() - start)
 
+    def _deduplicated(self, request: object) -> "object | None":
+        """The stored reply for a retried idempotent request, or None.
+
+        Checked *before* draining/admission: a retry of an already-accepted
+        request is not new work and must succeed wherever the original did
+        — that is the exactly-once contract.
+        """
+        key = getattr(request, "idempotency_key", None)
+        if not key:
+            return None
+        reply = self.idempotency.get(key)
+        if reply is None:
+            return None
+        self.metrics.inc("idempotent_hits_total")
+        if isinstance(reply, SubmitReply):
+            return replace(reply, deduplicated=True)
+        return reply
+
+    def _journal_applied(self, append, *args) -> None:
+        """Append one record to the WAL and advance the snapshot cadence.
+
+        Called after the state mutation was applied and before the reply is
+        returned — an OSError here (disk full, dead volume) surfaces as an
+        ``internal`` error to the client, which therefore never receives an
+        acknowledgement the journal cannot back.
+        """
+        append(*args)
+        self.metrics.inc("journal_records_total")
+        assert self.durability is not None
+        self.durability.note_applied(self.state, self.idempotency, self.rejected)
+
     def _dispatch(self, request: object) -> object:
         state = self.state
         if isinstance(request, SubmitTask):
+            stored = self._deduplicated(request)
+            if stored is not None:
+                return stored
             if self.draining:
                 return ErrorReply("draining", "service is draining; not accepting tasks")
             if state.live_count >= self.config.max_live_tasks:
@@ -206,14 +331,24 @@ class SchedulerService:
                 )
             except DuplicateTaskError as exc:
                 return ErrorReply("duplicate_task", str(exc))
-            return SubmitReply(
+            if self.durability is not None:
+                self._journal_applied(
+                    self.durability.record_submit, record, request.idempotency_key
+                )
+            reply = SubmitReply(
                 task_id=record.task_id,
                 now=state.now,
                 share=state.share_of(record.task_id),
                 live_tasks=state.live_count,
             )
+            if request.idempotency_key:
+                self.idempotency.put(request.idempotency_key, reply)
+            return reply
 
         if isinstance(request, CancelTask):
+            stored = self._deduplicated(request)
+            if stored is not None:
+                return stored
             try:
                 cancelled = self._timed_sim(
                     "sim.step", state.cancel, request.task_id, now=self._now(request)
@@ -221,12 +356,25 @@ class SchedulerService:
             except UnknownTaskError:
                 return ErrorReply("unknown_task", f"no task {request.task_id!r}")
             record = state.records[request.task_id]
-            return CancelReply(
+            if cancelled and self.durability is not None:
+                # No-op cancels (already finished) mutate nothing: not journaled.
+                # state.now is the resolved (clamped-monotonic) cancel time —
+                # the value replay must pass to reproduce this trajectory.
+                self._journal_applied(
+                    self.durability.record_cancel,
+                    request.task_id,
+                    state.now,
+                    request.idempotency_key,
+                )
+            reply = CancelReply(
                 task_id=request.task_id,
                 cancelled=cancelled,
                 now=state.now,
                 status=record.status,
             )
+            if request.idempotency_key:
+                self.idempotency.put(request.idempotency_key, reply)
+            return reply
 
         if isinstance(request, QueryShare):
             try:
@@ -271,6 +419,9 @@ class SchedulerService:
                 now=state.now,
                 live_tasks=state.live_count,
                 draining=self.draining,
+                durable=self.durability is not None,
+                recovered_events=self.recovered_events,
+                recovery_seconds=self.recovery_seconds,
             )
 
         if isinstance(request, SimulateRequest):
@@ -375,6 +526,23 @@ class SchedulerService:
             with contextlib.suppress(Exception):
                 writer.close()
         self._connections.clear()
+        self.close()
+
+    def close(self) -> None:
+        """Release durability resources (final snapshot + sealed journal).
+
+        The final snapshot makes a *clean* restart replay nothing; crash
+        recovery never depends on it.  Safe to call more than once, and a
+        no-op for in-memory services.
+        """
+        if self.durability is None:
+            return
+        with contextlib.suppress(OSError):
+            if self.durability.journal.appended:
+                self.durability.write_snapshot(
+                    self.state, self.idempotency, self.rejected
+                )
+        self.durability.close()
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -30,7 +30,9 @@ any future allocation, so compaction is invisible to the trajectory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import asdict, dataclass
+from typing import Any
 
 import numpy as np
 
@@ -65,6 +67,10 @@ POLICY_NAMES: "tuple[str, ...]" = tuple(_POLICY_FACTORIES)
 
 #: Initial/minimum width of the task axis.
 _MIN_CAPACITY = 64
+
+#: Shape of auto-assigned task ids; explicit ids that match it advance the
+#: auto counter so journal replays stay on the live run's id trajectory.
+_AUTO_ID_PATTERN = re.compile(r"t(\d+)")
 
 
 def make_policy(name: str) -> BatchPolicy:
@@ -316,8 +322,20 @@ class LiveSystemState:
             raise ValueError(f"delta must be positive, got {delta}")
         delta = min(delta, self.P)
         if task_id is None:
+            # Skip over ids already taken — auto ids must never collide with
+            # explicitly-submitted "tN" ids.
+            while f"t{self._auto_id}" in self.records:
+                self._auto_id += 1
             task_id = f"t{self._auto_id}"
             self._auto_id += 1
+        else:
+            # Explicit canonical ids advance the counter exactly as the
+            # auto-assigned path would have.  This keeps a journal replay
+            # (which re-submits with the originally assigned ids) on the
+            # same id trajectory as the live run it reconstructs.
+            match = _AUTO_ID_PATTERN.fullmatch(task_id)
+            if match is not None:
+                self._auto_id = max(self._auto_id, int(match.group(1)) + 1)
         if task_id in self.records:
             raise DuplicateTaskError(f"task id {task_id!r} already exists")
 
@@ -439,3 +457,105 @@ class LiveSystemState:
             "completed": self.completed,
             "cancelled": self.cancelled,
         }
+
+    # ----------------------------------------------------------------- #
+    # Durability (repro.service.journal)
+    # ----------------------------------------------------------------- #
+
+    #: State-array fields serialised per used column, in a fixed order.
+    _SNAPSHOT_ARRAYS = (
+        "releases",
+        "remaining",
+        "work_done",
+        "completed",
+        "released",
+        "completion_times",
+        "finish_tol",
+    )
+
+    def to_snapshot(self) -> "dict[str, Any]":
+        """The full live system as one JSON-representable mapping.
+
+        Everything needed to resume is captured — task records, counters,
+        the engine arrays of every *used* column, the virtual clock and the
+        event count.  Floats survive the JSON round trip bit-exactly
+        (``repr`` round-trips IEEE doubles), so a restored system is not
+        merely tolerance-close but identical; the differential tests in
+        ``tests/test_journal.py`` pin that.  The resolved ``kernel`` is a
+        node-local performance choice and is deliberately not persisted.
+        """
+        used = self.used_slots
+        state = self.state
+        batch = state.batch
+        return {
+            "P": self.P,
+            "policy": self.policy_name,
+            "atol": self.atol,
+            "t": self.now,
+            "num_events": self.total_events,
+            "auto_id": self._auto_id,
+            "submitted": self.submitted,
+            "completed_count": self.completed,
+            "cancelled_count": self.cancelled,
+            "slot_task": list(self._slot_task),
+            "live_slots": self._live_slots[:used].astype(int).tolist(),
+            "batch": {
+                "volumes": batch.volumes[0, :used].tolist(),
+                "weights": batch.weights[0, :used].tolist(),
+                "deltas": batch.deltas[0, :used].tolist(),
+            },
+            "arrays": {
+                name: np.asarray(getattr(state, name)[0, :used]).astype(float).tolist()
+                for name in self._SNAPSHOT_ARRAYS
+            },
+            "records": [asdict(record) for record in self.records.values()],
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, payload: "dict[str, Any]", kernel: str = "auto"
+    ) -> "LiveSystemState":
+        """Rebuild a live system from :meth:`to_snapshot` output.
+
+        The restored system continues exactly where the snapshot was taken:
+        same virtual clock, same event count, same per-column engine state —
+        advancing it produces the same trajectory the original would have.
+        """
+        live = cls(
+            P=float(payload["P"]),
+            policy=str(payload["policy"]),
+            atol=float(payload["atol"]),
+            kernel=kernel,
+        )
+        slot_task = [str(task_id) for task_id in payload["slot_task"]]
+        used = len(slot_task)
+        capacity = _MIN_CAPACITY
+        while capacity < used:
+            capacity *= 2
+        state = live._blank_state(capacity)
+        batch = state.batch
+        for name in ("volumes", "weights", "deltas"):
+            getattr(batch, name)[0, :used] = payload["batch"][name]
+        batch.mask[0, :used] = True
+        for name in cls._SNAPSHOT_ARRAYS:
+            values = np.asarray(payload["arrays"][name], dtype=float)
+            target = getattr(state, name)
+            target[0, :used] = values.astype(target.dtype)
+        state.t[0] = float(payload["t"])
+        state.num_events[0] = int(payload["num_events"])
+        live.state = state
+        live._slot_task = slot_task
+        live._live_slots = np.zeros(capacity, dtype=bool)
+        live._live_slots[:used] = np.asarray(payload["live_slots"], dtype=bool)
+        live.records = {}
+        live._running = set()
+        for fields in payload["records"]:
+            record = TaskRecord(**fields)
+            live.records[record.task_id] = record
+            if record.status == "running":
+                live._running.add(record.task_id)
+        live._auto_id = int(payload["auto_id"])
+        live.submitted = int(payload["submitted"])
+        live.completed = int(payload["completed_count"])
+        live.cancelled = int(payload["cancelled_count"])
+        return live

@@ -1,13 +1,15 @@
-"""Fault-injection harness for the cluster backend tests.
+"""Fault-injection harness for the cluster and service chaos tests.
 
-Spawns *real* ``malleable-repro workers`` subprocesses on localhost
-ephemeral ports, parses the addresses they print, and provides the murder
+Spawns *real* ``malleable-repro workers`` / ``serve`` subprocesses on
+localhost ports, parses the addresses they print, and provides the murder
 weapons the chaos suite needs: ``SIGKILL`` a node mid-sweep, launch a
 straggler that sleeps past the coordinator's cell timeout
-(``chaos_delay``), or a node that dies with ``os._exit`` upon receiving
+(``chaos_delay``), a node that dies with ``os._exit`` upon receiving
 its N-th job (``chaos_die_after`` — deterministic mid-cell loss, no reply,
-no cleanup).  Everything is bounded by timeouts so a regression hangs for
-seconds, not forever.
+no cleanup), or a durable scheduling server that can be SIGKILLed
+mid-journal-write and restarted on the same port from the same journal
+(:class:`ServerProcess`).  Everything is bounded by timeouts so a
+regression hangs for seconds, not forever.
 
 Usage::
 
@@ -15,6 +17,11 @@ Usage::
         ctx = ExecutionContext(backend="cluster", hosts=fleet.hosts)
         ...
         fleet.kill(0)           # SIGKILL one node
+
+    with ServerProcess(journal_dir) as server:
+        ...                      # NDJSON clients against server.port
+        server.kill()            # SIGKILL: torn journal tails are fair game
+        server.start()           # restart: recovers snapshot + journal
 """
 
 from __future__ import annotations
@@ -22,12 +29,13 @@ from __future__ import annotations
 import os
 import re
 import signal
+import socket
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-__all__ = ["WorkerFleet", "spawn_worker", "REPO_SRC"]
+__all__ = ["WorkerFleet", "ServerProcess", "spawn_worker", "free_port", "REPO_SRC"]
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -161,3 +169,91 @@ class WorkerFleet:
                 process.stdout.close()
         self.processes.clear()
         self.hosts.clear()
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Reserve a port number a (re)started server can bind."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return int(sock.getsockname()[1])
+
+
+class ServerProcess:
+    """A killable, restartable ``malleable-repro serve`` subprocess.
+
+    The port is pre-picked so a restarted server is reachable at the same
+    address the clients keep retrying against, and the journal directory is
+    reused across restarts — :meth:`kill` followed by :meth:`start` is the
+    crash-recovery cycle the durability tests drive.  ``--virtual-time`` is
+    on by default so trajectories are deterministic functions of the
+    requests, not of wall-clock race outcomes.
+    """
+
+    def __init__(
+        self,
+        journal_dir: "str | os.PathLike[str]",
+        port: "int | None" = None,
+        virtual_time: bool = True,
+        extra_args: "tuple[str, ...]" = (),
+    ):
+        self.journal_dir = str(journal_dir)
+        self.port = free_port() if port is None else int(port)
+        self.virtual_time = virtual_time
+        self.extra_args = list(extra_args)
+        self.process: "subprocess.Popen | None" = None
+
+    def start(self) -> "ServerProcess":
+        """Launch the server; blocks until it prints its listening banner."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(self.port),
+            "--journal-dir",
+            self.journal_dir,
+        ]
+        if self.virtual_time:
+            command.append("--virtual-time")
+        command += self.extra_args
+        self.process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, text=True, env=_worker_env()
+        )
+        deadline = time.monotonic() + START_TIMEOUT
+        assert self.process.stdout is not None
+        while True:
+            if time.monotonic() > deadline:
+                self.process.kill()
+                raise TimeoutError(f"server not listening within {START_TIMEOUT}s")
+            line = self.process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server exited early (rc={self.process.poll()})"
+                )
+            if "listening on" in line:
+                return self
+
+    def kill(self) -> None:
+        """``SIGKILL`` — no flush, no snapshot, torn journal tails welcome."""
+        assert self.process is not None
+        self.process.kill()
+        self.process.wait(timeout=START_TIMEOUT)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def close(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.kill()
+        self.process = None
+
+    def __enter__(self) -> "ServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

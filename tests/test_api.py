@@ -36,8 +36,16 @@ from repro.api import (
 
 #: One representative instance per message type, non-default everywhere.
 _EXAMPLES = [
-    SubmitTask(volume=4.0, weight=2.0, delta=3.0, task_id="job-1", client="c1", now=1.5),
-    MESSAGE_TYPES["cancel_task"](task_id="job-1", client="c1", now=2.0),
+    SubmitTask(
+        volume=4.0,
+        weight=2.0,
+        delta=3.0,
+        task_id="job-1",
+        client="c1",
+        now=1.5,
+        idempotency_key="sub-1",
+    ),
+    MESSAGE_TYPES["cancel_task"](task_id="job-1", client="c1", now=2.0, idempotency_key="can-1"),
     QueryShare(task_id="job-1", project=True, client="c1", now=2.5),
     MESSAGE_TYPES["query_state"](now=3.0),
     MESSAGE_TYPES["metrics"](),
@@ -50,7 +58,7 @@ _EXAMPLES = [
         policy="deq",
         release_times=(0.0, 0.5),
     ),
-    SubmitReply(task_id="job-1", now=1.5, share=2.0, live_tasks=3),
+    SubmitReply(task_id="job-1", now=1.5, share=2.0, live_tasks=3, deduplicated=True),
     CancelReply(task_id="job-1", cancelled=True, now=2.0, status="cancelled"),
     ShareReply(
         task_id="job-1",
@@ -63,7 +71,15 @@ _EXAMPLES = [
     ),
     StateReply(now=3.0, live_tasks=2, submitted=5, completed=2, cancelled=1, rejected=0),
     MetricsReply(metrics={"counters": {"requests_total": 7}}),
-    HealthReply(status="ok", now=3.0, live_tasks=2, draining=False),
+    HealthReply(
+        status="ok",
+        now=3.0,
+        live_tasks=2,
+        draining=False,
+        durable=True,
+        recovered_events=4,
+        recovery_seconds=0.25,
+    ),
     SimulateReply(
         completion_times=(1.0, 2.0), weighted_completion_time=7.0, makespan=2.0, num_events=2
     ),

@@ -69,6 +69,15 @@ PAGES: dict[str, tuple[str, str, list[str]]] = {
          "repro.service.loadgen", "repro.service.ratelimit", "repro.service.metrics",
          "repro.service.protocol"],
     ),
+    "journal.md": (
+        "repro.service.journal — durable service state",
+        "The write-ahead journal behind `malleable-repro serve "
+        "--journal-dir`: CRC-framed append-only segments, atomic snapshots "
+        "of the live system, snapshot-plus-suffix recovery through the "
+        "incremental engine, and the persisted idempotency table that makes "
+        "client retries exactly-once across a server crash.",
+        ["repro.service.journal"],
+    ),
     "batch.md": (
         "repro.batch — vectorized substrate",
         "Struct-of-arrays batches and the padded-batch NumPy kernels the "
