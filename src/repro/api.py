@@ -181,7 +181,10 @@ class SubmitTask:
     under a key is remembered (journaled and snapshotted on durable
     servers), and any later submit carrying the same key — including after
     a reconnect or a server crash-restart — returns the stored reply with
-    ``deduplicated=True`` instead of creating a second task.
+    ``deduplicated=True`` instead of creating a second task.  Keys are
+    scoped per ``client`` id, so distinct clients reusing a key never see
+    each other's replies; clients sending no ``client`` id share one
+    anonymous namespace and must keep keys globally unique.
     """
 
     volume: float

@@ -11,8 +11,10 @@ can be cheap and exact:
   to a CRC-framed NDJSON write-ahead log *before* the reply is sent
   (:class:`Journal`);
 * periodically the full :class:`~repro.service.state.LiveSystemState` is
-  serialised into an atomic **snapshot** (:class:`SnapshotStore`) and the
-  journal segments it covers are compacted away;
+  serialised into an atomic **snapshot** (:class:`SnapshotStore`) and
+  journal segments covered by *every retained snapshot* are compacted
+  away (so falling back to an older snapshot never meets a compacted-away
+  gap);
 * **recovery** (:func:`recover_state`) loads the latest valid snapshot and
   replays only the journal suffix through the existing incremental engine
   — the same :meth:`~repro.service.state.LiveSystemState.submit` /
@@ -98,9 +100,29 @@ class JournalCorruptError(RuntimeError):
 
     Torn *tails* are normal operation (a crash mid-write) and are truncated
     silently; corruption anywhere else — a CRC mismatch inside a sealed
-    segment, a sequence-number gap — means the log can no longer be trusted
-    and recovery must stop loudly rather than serve a half-replayed state.
+    segment, a sequence-number gap, a journal suffix that no longer reaches
+    back to the snapshot it must extend — means the log can no longer be
+    trusted and recovery must stop loudly rather than serve a half-replayed
+    state.
     """
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Persist directory-entry changes (renames, unlinks) across power loss.
+
+    ``fsync`` on a file makes its *bytes* durable; the rename or unlink that
+    made the file visible (or gone) lives in the directory and needs its own
+    ``fsync``.  Best-effort: platforms that cannot ``open`` a directory
+    (Windows) skip it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 # --------------------------------------------------------------------- #
@@ -338,6 +360,10 @@ class Journal:
         self.close()
         path = _segment_path(self.directory, first_seq)
         self._handle = open(path, "ab", buffering=0)
+        if self.fsync != "off":
+            # The new segment's directory entry must survive power loss, or
+            # every record in it vanishes with the file.
+            _fsync_dir(self.directory)
         self._segment_size = path.stat().st_size
         self._last_fsync = time.monotonic()
 
@@ -395,6 +421,12 @@ class Journal:
                 deleted += 1
             else:
                 break
+        if deleted:
+            # Make the unlinks durable *now*: if they persisted while the
+            # snapshot rename that justified them did not, recovery would
+            # face an unfillable gap.  (write_snapshot fsyncs the snapshot's
+            # rename before calling compact, giving the safe ordering.)
+            _fsync_dir(self.directory)
         return deleted
 
 
@@ -441,14 +473,36 @@ class SnapshotStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # The rename itself must be durable before anything that *depends*
+        # on this snapshot (journal compaction) persists, or power loss can
+        # keep the compaction and lose the snapshot.
+        _fsync_dir(self.directory)
         self._prune()
         return path
 
     def _prune(self) -> None:
         paths = self.paths()
+        pruned = False
         for path in paths[: -self.keep]:
             with contextlib.suppress(OSError):
                 path.unlink()
+                pruned = True
+        if pruned:
+            _fsync_dir(self.directory)
+
+    def oldest_seq(self) -> int:
+        """Sequence covered by the oldest *retained* snapshot file (0 if none).
+
+        Journal compaction keys off this, not the newest snapshot: every
+        retained snapshot then has its complete journal suffix on disk, so
+        falling back from a corrupt newer snapshot actually works instead of
+        hitting a compacted-away gap.
+        """
+        paths = self.paths()
+        if not paths:
+            return 0
+        digits = paths[0].name[len(_SNAPSHOT_PREFIX) : -len(_SNAPSHOT_SUFFIX)]
+        return int(digits) if digits.isdigit() else 0
 
     @staticmethod
     def read(path: Path) -> "dict[str, Any] | None":
@@ -511,6 +565,10 @@ class IdempotencyTable:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    def pop(self, key: str) -> None:
+        """Forget ``key`` (used to back out an entry whose journal append failed)."""
+        self._entries.pop(key, None)
 
     def encode(self) -> "dict[str, Any]":
         """JSON-representable form (insertion order preserves LRU order)."""
@@ -605,6 +663,16 @@ def recover_state(
     recovered = 0
     last_seq = snapshot_seq
     for seq, record in journal.replay(after_seq=snapshot_seq):
+        if recovered == 0 and seq != snapshot_seq + 1:
+            # The suffix does not reach back to the snapshot it must extend:
+            # the records in between were compacted against a *newer*
+            # snapshot that no longer validates.  Replaying over the hole
+            # would serve a silently diverged state — stop loudly instead.
+            raise JournalCorruptError(
+                f"recovery gap: snapshot covers seq {snapshot_seq} but the "
+                f"journal suffix starts at seq {seq}; records "
+                f"{snapshot_seq + 1}..{seq - 1} were compacted away"
+            )
         if isinstance(record, JournalSubmit):
             state.submit(
                 record.volume,
@@ -729,7 +797,13 @@ class ServiceDurability:
         idempotency: IdempotencyTable,
         rejected: int,
     ) -> Path:
-        """Persist the full state now and compact covered segments."""
+        """Persist the full state now and compact covered segments.
+
+        Compaction is keyed to the *oldest retained* snapshot, not the one
+        just written: every snapshot still on disk keeps its complete
+        journal suffix, so recovery's fallback from a corrupt newer
+        snapshot replays a whole history rather than one with a hole.
+        """
         start = time.perf_counter()
         seq = self.journal.last_seq
         path = self.snapshots.write(
@@ -740,7 +814,7 @@ class ServiceDurability:
                 "rejected": int(rejected),
             },
         )
-        self.journal.compact(seq)
+        self.journal.compact(self.snapshots.oldest_seq())
         self._since_snapshot = 0
         self.snapshots_written += 1
         if self._observe is not None:

@@ -128,6 +128,10 @@ class SchedulerService:
         self.metrics = MetricsRegistry()
         self.idempotency = IdempotencyTable(self.config.idempotency_capacity)
         self.durability: "ServiceDurability | None" = None
+        # Set when a journal append fails: the live state then holds a
+        # mutation the log cannot back, so the server goes read-only for
+        # mutations (fail-stop) until a restart recovers a consistent state.
+        self.journal_failed = False
         self.recovery_seconds = 0.0
         self.recovered_events = 0
         self.rejected = 0
@@ -206,6 +210,9 @@ class SchedulerService:
             self.metrics.register_gauge(
                 "recovered_events", lambda: float(self.recovered_events)
             )
+            self.metrics.register_gauge(
+                "journal_failed", lambda: float(self.journal_failed)
+            )
 
     def recovery_banner(self) -> "str | None":
         """One human-readable startup line about recovery (None when in-memory)."""
@@ -273,6 +280,23 @@ class SchedulerService:
         finally:
             self.metrics.observe(name, time.perf_counter() - start)
 
+    @staticmethod
+    def _scoped_key(request: object) -> "str | None":
+        """The dedup-table key for a request, or None when unkeyed.
+
+        Keys are namespaced by the request's ``client`` id (NUL-joined, so
+        no client/key pair can alias another): two clients reusing the same
+        ``idempotency_key`` get two tasks, not one client's stored reply.
+        The ``client`` field travels with every retry of a request — unlike
+        the peer address, which changes across reconnects — so the scope is
+        stable exactly where dedup matters.  The *scoped* key is what gets
+        journaled, keeping recovery's rebuilt table consistent.
+        """
+        key = getattr(request, "idempotency_key", None)
+        if not key:
+            return None
+        return f"{getattr(request, 'client', '') or ''}\x00{key}"
+
     def _deduplicated(self, request: object) -> "object | None":
         """The stored reply for a retried idempotent request, or None.
 
@@ -280,8 +304,8 @@ class SchedulerService:
         request is not new work and must succeed wherever the original did
         — that is the exactly-once contract.
         """
-        key = getattr(request, "idempotency_key", None)
-        if not key:
+        key = self._scoped_key(request)
+        if key is None:
             return None
         reply = self.idempotency.get(key)
         if reply is None:
@@ -294,15 +318,36 @@ class SchedulerService:
     def _journal_applied(self, append, *args) -> None:
         """Append one record to the WAL and advance the snapshot cadence.
 
-        Called after the state mutation was applied and before the reply is
-        returned — an OSError here (disk full, dead volume) surfaces as an
-        ``internal`` error to the client, which therefore never receives an
-        acknowledgement the journal cannot back.
+        Called after the state mutation was applied *and* after the reply
+        was stored in the idempotency table (so a snapshot triggered by
+        this very record already carries the key), and before the reply is
+        returned to the client.
+
+        A failed append (disk full, dead volume) is **fail-stop**: the live
+        state now holds a mutation the log cannot back, so the server
+        refuses all further mutations and starts draining — a restart
+        recovers the journaled prefix, which is exactly the acknowledged
+        history.  A failed *snapshot* is non-fatal: the record is durably
+        in the log, recovery just replays a longer suffix.
         """
-        append(*args)
+        try:
+            append(*args)
+        except OSError:
+            self.journal_failed = True
+            self.metrics.inc("journal_failures_total")
+            _log.critical(
+                "journal append failed; refusing further mutations until restart",
+                exc_info=True,
+            )
+            self.request_drain()
+            raise
         self.metrics.inc("journal_records_total")
         assert self.durability is not None
-        self.durability.note_applied(self.state, self.idempotency, self.rejected)
+        try:
+            self.durability.note_applied(self.state, self.idempotency, self.rejected)
+        except OSError:
+            self.metrics.inc("snapshot_failures_total")
+            _log.exception("snapshot write failed; continuing on the journal alone")
 
     def _dispatch(self, request: object) -> object:
         state = self.state
@@ -310,6 +355,11 @@ class SchedulerService:
             stored = self._deduplicated(request)
             if stored is not None:
                 return stored
+            if self.journal_failed:
+                return ErrorReply(
+                    "journal_failed",
+                    "the write-ahead journal failed; mutations are refused until restart",
+                )
             if self.draining:
                 return ErrorReply("draining", "service is draining; not accepting tasks")
             if state.live_count >= self.config.max_live_tasks:
@@ -331,24 +381,41 @@ class SchedulerService:
                 )
             except DuplicateTaskError as exc:
                 return ErrorReply("duplicate_task", str(exc))
-            if self.durability is not None:
-                self._journal_applied(
-                    self.durability.record_submit, record, request.idempotency_key
-                )
             reply = SubmitReply(
                 task_id=record.task_id,
                 now=state.now,
                 share=state.share_of(record.task_id),
                 live_tasks=state.live_count,
             )
-            if request.idempotency_key:
-                self.idempotency.put(request.idempotency_key, reply)
+            # The key must be in the table *before* the journal append: the
+            # append may trigger a snapshot, and that snapshot must already
+            # carry the key for this very record (recovery replays only
+            # records past the snapshot, so it cannot rebuild the key).
+            key = self._scoped_key(request)
+            if key:
+                self.idempotency.put(key, reply)
+            if self.durability is not None:
+                try:
+                    self._journal_applied(self.durability.record_submit, record, key)
+                except OSError as exc:
+                    if key:
+                        self.idempotency.pop(key)  # never ack what the log can't back
+                    return ErrorReply(
+                        "journal_failed",
+                        f"write-ahead journal append failed ({exc}); "
+                        "mutations are refused until restart",
+                    )
             return reply
 
         if isinstance(request, CancelTask):
             stored = self._deduplicated(request)
             if stored is not None:
                 return stored
+            if self.journal_failed:
+                return ErrorReply(
+                    "journal_failed",
+                    "the write-ahead journal failed; mutations are refused until restart",
+                )
             try:
                 cancelled = self._timed_sim(
                     "sim.step", state.cancel, request.task_id, now=self._now(request)
@@ -356,24 +423,36 @@ class SchedulerService:
             except UnknownTaskError:
                 return ErrorReply("unknown_task", f"no task {request.task_id!r}")
             record = state.records[request.task_id]
-            if cancelled and self.durability is not None:
-                # No-op cancels (already finished) mutate nothing: not journaled.
-                # state.now is the resolved (clamped-monotonic) cancel time —
-                # the value replay must pass to reproduce this trajectory.
-                self._journal_applied(
-                    self.durability.record_cancel,
-                    request.task_id,
-                    state.now,
-                    request.idempotency_key,
-                )
             reply = CancelReply(
                 task_id=request.task_id,
                 cancelled=cancelled,
                 now=state.now,
                 status=record.status,
             )
-            if request.idempotency_key:
-                self.idempotency.put(request.idempotency_key, reply)
+            # Same ordering as submit: key into the table before the append
+            # so a snapshot triggered by this record already contains it.
+            key = self._scoped_key(request)
+            if key:
+                self.idempotency.put(key, reply)
+            if cancelled and self.durability is not None:
+                # No-op cancels (already finished) mutate nothing: not journaled.
+                # state.now is the resolved (clamped-monotonic) cancel time —
+                # the value replay must pass to reproduce this trajectory.
+                try:
+                    self._journal_applied(
+                        self.durability.record_cancel,
+                        request.task_id,
+                        state.now,
+                        key,
+                    )
+                except OSError as exc:
+                    if key:
+                        self.idempotency.pop(key)
+                    return ErrorReply(
+                        "journal_failed",
+                        f"write-ahead journal append failed ({exc}); "
+                        "mutations are refused until restart",
+                    )
             return reply
 
         if isinstance(request, QueryShare):
@@ -538,7 +617,9 @@ class SchedulerService:
         if self.durability is None:
             return
         with contextlib.suppress(OSError):
-            if self.durability.journal.appended:
+            # After a journal failure the live state holds mutations the log
+            # never saw — snapshotting it would persist the divergence.
+            if self.durability.journal.appended and not self.journal_failed:
                 self.durability.write_snapshot(
                     self.state, self.idempotency, self.rejected
                 )

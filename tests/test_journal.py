@@ -415,6 +415,54 @@ class TestRecovery:
         assert result.state.live_count == 0
         assert result.state.P == 4.0
 
+    @staticmethod
+    def _compacted_durability(tmp_path) -> "tuple[ServiceDurability, LiveSystemState]":
+        """13 journaled submits, one record per segment, snapshots at 4/8/12.
+
+        With ``keep=2`` the retained snapshots cover seqs 8 and 12, so
+        compaction (keyed to the oldest retained snapshot) has removed the
+        segments for seqs 1..8 — records 9..13 remain on disk.
+        """
+        durability = ServiceDurability(
+            tmp_path, snapshot_every=4, segment_bytes=1, fsync="off"
+        )
+        state = LiveSystemState(P=8.0)
+        for i in range(13):
+            record = state.submit(1.0 + i, 1.0, 1.0, now=float(i))
+            durability.record_submit(record, None)
+            durability.note_applied(state, IdempotencyTable(), 0)
+        durability.close()
+        assert [s for s, _ in Journal(tmp_path).replay()] == list(range(9, 14))
+        return durability, state
+
+    def test_fallback_snapshot_still_has_its_complete_suffix(self, tmp_path):
+        """Compaction must never orphan a *retained* snapshot.
+
+        Corrupting the newest snapshot forces recovery onto the older one —
+        whose longer journal suffix must still be on disk in full.
+        """
+        _, state = self._compacted_durability(tmp_path)
+        store = SnapshotStore(tmp_path)
+        newest = store.paths()[-1]
+        newest.write_bytes(b"00000000 not-the-right-checksum\n")
+        result = recover_state(Journal(tmp_path), store, P=8.0)
+        assert result.snapshot_seq == 8
+        assert result.recovered_events == 5  # seqs 9..13
+        assert result.state.to_snapshot() == state.to_snapshot()
+
+    def test_recovery_refuses_a_suffix_that_cannot_reach_its_snapshot(self, tmp_path):
+        """Every snapshot gone + a compacted prefix = an unfillable hole.
+
+        Replaying seqs 9..13 onto a fresh state would silently serve a
+        diverged system; recovery must stop loudly instead.
+        """
+        self._compacted_durability(tmp_path)
+        store = SnapshotStore(tmp_path)
+        for path in store.paths():
+            path.unlink()
+        with pytest.raises(JournalCorruptError, match="recovery gap"):
+            recover_state(Journal(tmp_path), store, P=8.0)
+
 
 # ---------------------------------------------------------------------------
 # Inspection

@@ -24,7 +24,14 @@ import json
 
 import pytest
 
-from repro.api import CancelTask, HealthRequest, MetricsRequest, QueryState, SubmitTask
+from repro.api import (
+    CancelTask,
+    ErrorReply,
+    HealthRequest,
+    MetricsRequest,
+    QueryState,
+    SubmitTask,
+)
 from repro.service import (
     SchedulerService,
     ServiceClient,
@@ -138,6 +145,107 @@ class TestDurableRestart:
         # The journal stays appendable after truncation.
         _submit(second, 6, now=2.0)
         assert second.state.submitted == 7
+        second.close()
+
+    def test_keyed_retry_when_the_request_itself_triggered_the_snapshot(self, tmp_path):
+        """The record that trips the snapshot cadence must have its key in it.
+
+        With ``snapshot_every=1`` the very submit being journaled causes the
+        snapshot; recovery then replays *nothing* past it, so the snapshot's
+        embedded idempotency table is the only place the key can live.
+        """
+        first = _durable(tmp_path, snapshot_every=1)
+        original = _submit(first, 0, now=0.0, key="boundary")
+        assert first.durability.snapshots_written == 1
+        first.durability.close()  # crash after the ack
+
+        second = _durable(tmp_path, snapshot_every=1)
+        assert second.recovered_events == 0  # the snapshot covered everything
+        retried = _submit(second, 0, now=0.0, key="boundary")
+        assert retried.deduplicated
+        assert retried.task_id == original.task_id
+        assert second.state.submitted == 1
+        second.close()
+
+    def test_cancel_key_survives_a_snapshot_it_triggered(self, tmp_path):
+        first = _durable(tmp_path, snapshot_every=2)
+        _submit(first, 0, now=0.0)  # seq 1
+        cancel = first.handle(
+            CancelTask(task_id="t0", now=0.1, idempotency_key="c-boundary")
+        )  # seq 2: triggers the snapshot
+        assert cancel.cancelled
+        first.durability.close()
+
+        second = _durable(tmp_path, snapshot_every=2)
+        retried = second.handle(
+            CancelTask(task_id="t0", now=0.1, idempotency_key="c-boundary")
+        )
+        assert retried.cancelled and retried.status == "cancelled"
+        assert second.state.cancelled == 1
+        second.close()
+
+    def test_journal_append_failure_is_fail_stop_for_mutations(
+        self, tmp_path, monkeypatch
+    ):
+        service = _durable(tmp_path)
+        _submit(service, 0, now=0.0)
+
+        def broken_append(record):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(service.durability.journal, "append", broken_append)
+        doomed = service.handle(
+            SubmitTask(volume=1.0, now=0.1, idempotency_key="doomed")
+        )
+        assert isinstance(doomed, ErrorReply) and doomed.code == "journal_failed"
+        assert service.journal_failed
+        # The unbacked ack was never stored: a retry is refused, never
+        # answered from the idempotency table, and applies nothing.
+        retry = service.handle(
+            SubmitTask(volume=1.0, now=0.1, idempotency_key="doomed")
+        )
+        assert isinstance(retry, ErrorReply) and retry.code == "journal_failed"
+        assert service.handle(
+            CancelTask(task_id="t0", now=0.2, idempotency_key="c1")
+        ).code == "journal_failed"
+        # Reads keep working while the server drains.
+        assert service.handle(HealthRequest()).live_tasks >= 0
+        gauges = service.handle(MetricsRequest()).metrics["gauges"]
+        assert gauges["journal_failed"] == 1.0
+        service.durability.close()
+
+        # Restart recovers exactly the journaled (= acknowledged) prefix:
+        # the ghost task that failed to journal is gone.
+        second = _durable(tmp_path)
+        assert second.state.submitted == 1
+        assert second.handle(QueryState(now=0.2)).submitted == 1
+        second.close()
+
+    def test_idempotency_keys_are_scoped_per_client(self, tmp_path):
+        service = _durable(tmp_path)
+        a = service.handle(
+            SubmitTask(volume=1.0, now=0.0, client="alice", idempotency_key="k1")
+        )
+        b = service.handle(
+            SubmitTask(volume=2.0, now=0.1, client="bob", idempotency_key="k1")
+        )
+        # Two clients reusing a key are two tasks, not one stored reply.
+        assert a.task_id != b.task_id
+        assert service.state.submitted == 2
+        again = service.handle(
+            SubmitTask(volume=1.0, now=0.2, client="alice", idempotency_key="k1")
+        )
+        assert again.deduplicated and again.task_id == a.task_id
+        service.durability.close()
+
+        # The *scoped* key is what gets journaled, so the namespace
+        # survives recovery too.
+        second = _durable(tmp_path)
+        retried = second.handle(
+            SubmitTask(volume=2.0, now=0.3, client="bob", idempotency_key="k1")
+        )
+        assert retried.deduplicated and retried.task_id == b.task_id
+        assert second.state.submitted == 2
         second.close()
 
     def test_snapshot_config_mismatch_is_refused(self, tmp_path):
